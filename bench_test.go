@@ -1,0 +1,296 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (Section 4). Each benchmark runs the corresponding
+// experiment and prints the same series the paper plots, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Simulated durations default to a
+// quarter of the paper's (the congestion-tree dynamics are preserved;
+// detection takes ~10 µs against a 42 µs scaled window); pass
+// -recn.scale=1 for the full 1600 µs runs (the 512-host Figure 6.b run
+// then simulates ~13 GB of traffic — expect several minutes).
+//
+// Reported metrics: B/ns throughput in the paper's windows, peak SAQ
+// counts, and simulator performance (events/sec).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+)
+
+var (
+	benchScale = flag.Float64("recn.scale", 0.25, "time scale for figure benchmarks (1.0 = paper durations)")
+	benchRows  = flag.Int("recn.rows", 24, "max printed table rows")
+	benchQuiet = flag.Bool("recn.quiet", false, "suppress table output")
+)
+
+func benchOpts() Options {
+	return Options{Scale: *benchScale, MaxRows: *benchRows}
+}
+
+func printTables(b *testing.B, tables []*Table) {
+	b.Helper()
+	if *benchQuiet {
+		return
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// reportFig attaches the headline numbers of a throughput figure as
+// benchmark metrics.
+func reportFig(b *testing.B, fig *experiments.FigThroughput) {
+	for _, p := range fig.Policies {
+		b.ReportMetric(fig.MeanWindow(p, 850, 960), p.String()+"_B/ns")
+	}
+	var events uint64
+	for _, r := range fig.Results {
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.Elapsed().Seconds()+1e-9), "events/s")
+}
+
+func BenchmarkTable1CornerCases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := Table1()
+		if i == 0 {
+			printTables(b, []*Table{tab})
+		}
+	}
+}
+
+func benchFig2(b *testing.B, corner, pktSize int) {
+	o := benchOpts()
+	if pktSize != 0 {
+		o.PacketSize = pktSize
+	}
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig2(corner, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{fig.Table()})
+			reportFig(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig2aCornerCase1 regenerates Figure 2.a: throughput over
+// time for the five mechanisms under corner case 1 (48 random sources
+// at 50%, 16-source hotspot), 64-byte packets.
+func BenchmarkFig2aCornerCase1(b *testing.B) { benchFig2(b, 1, 0) }
+
+// BenchmarkFig2bCornerCase2 regenerates Figure 2.b (all sources at the
+// full link rate).
+func BenchmarkFig2bCornerCase2(b *testing.B) { benchFig2(b, 2, 0) }
+
+func benchZoom(b *testing.B, corner int) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig2(corner, Options{
+			Scale: o.Scale, MaxRows: o.MaxRows,
+			Policies: []fabric.Policy{fabric.PolicyVOQnet, fabric.PolicyRECN},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{fig.Zoom(750, 1000, fabric.PolicyVOQnet, fabric.PolicyRECN)})
+			reportFig(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig2cZoomCase1 regenerates Figure 2.c: the RECN-vs-VOQnet
+// zoom around congestion-tree formation, corner case 1.
+func BenchmarkFig2cZoomCase1(b *testing.B) { benchZoom(b, 1) }
+
+// BenchmarkFig2dZoomCase2 regenerates Figure 2.d (corner case 2).
+func BenchmarkFig2dZoomCase2(b *testing.B) { benchZoom(b, 2) }
+
+func benchFig3(b *testing.B, cf float64) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig3(cf, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{fig.Table()})
+			for _, p := range fig.Policies {
+				b.ReportMetric(fig.Result(p).Throughput.MeanRate(0, 1<<30), p.String()+"_B/ns")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3aTraceCF20 regenerates Figure 3 (SAN traces, cello
+// model) at time compression 20.
+func BenchmarkFig3aTraceCF20(b *testing.B) { benchFig3(b, 20) }
+
+// BenchmarkFig3bTraceCF40 regenerates Figure 3 at compression 40.
+func BenchmarkFig3bTraceCF40(b *testing.B) { benchFig3(b, 40) }
+
+func benchFig4(b *testing.B, corner int) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig4(corner, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{fig.Table()})
+			p := fig.Result.SAQ.Peak()
+			b.ReportMetric(float64(p.Total), "peak_total_SAQs")
+			b.ReportMetric(float64(p.MaxIngress), "peak_ingress_SAQs")
+			b.ReportMetric(float64(p.MaxEgress), "peak_egress_SAQs")
+		}
+	}
+}
+
+// BenchmarkFig4SAQCornerCases regenerates Figure 4: SAQ utilization
+// over time for both corner cases.
+func BenchmarkFig4SAQCornerCases(b *testing.B) {
+	b.Run("case1", func(b *testing.B) { benchFig4(b, 1) })
+	b.Run("case2", func(b *testing.B) { benchFig4(b, 2) })
+}
+
+func benchFig5(b *testing.B, cf float64) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig5(cf, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{fig.Table()})
+			p := fig.Result.SAQ.Peak()
+			b.ReportMetric(float64(p.Total), "peak_total_SAQs")
+		}
+	}
+}
+
+// BenchmarkFig5SAQTraces regenerates Figure 5: SAQ utilization under
+// the SAN traces at both compression factors.
+func BenchmarkFig5SAQTraces(b *testing.B) {
+	b.Run("cf20", func(b *testing.B) { benchFig5(b, 20) })
+	b.Run("cf40", func(b *testing.B) { benchFig5(b, 40) })
+}
+
+func benchFig6(b *testing.B, hosts int) {
+	o := benchOpts()
+	// Figure 6 runs are an order of magnitude heavier; halve the
+	// default scale unless the user pinned one explicitly.
+	for i := 0; i < b.N; i++ {
+		tput, saq, err := experiments.Fig6(hosts, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{tput.Table(), saq.Table()})
+			reportFig(b, tput)
+			p := saq.Result.SAQ.Peak()
+			b.ReportMetric(float64(p.Total), "peak_total_SAQs")
+		}
+	}
+}
+
+// BenchmarkFig6a256Hosts regenerates Figure 6.a: throughput and SAQ
+// utilization on the 256-host network (256 switches, 4 stages).
+func BenchmarkFig6a256Hosts(b *testing.B) { benchFig6(b, 256) }
+
+// BenchmarkFig6b512Hosts regenerates Figure 6.b on the 512-host network
+// (640 switches, 5 stages).
+func BenchmarkFig6b512Hosts(b *testing.B) {
+	if testing.Short() {
+		b.Skip("512-host run")
+	}
+	benchFig6(b, 512)
+}
+
+// BenchmarkPkt512CornerCases covers the paper's §4.3 remark that
+// 512-byte-packet results match the 64-byte ones.
+func BenchmarkPkt512CornerCases(b *testing.B) {
+	b.Run("case1", func(b *testing.B) { benchFig2(b, 1, 512) })
+	b.Run("case2", func(b *testing.B) { benchFig2(b, 2, 512) })
+}
+
+// --- Ablations (DESIGN.md §6, A1–A4) ---
+
+func benchAblation(b *testing.B, run func(Options) (*Table, error)) {
+	for i := 0; i < b.N; i++ {
+		tab, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{tab})
+		}
+	}
+}
+
+// BenchmarkAblationSAQCount sweeps SAQs per port (A1): the paper's
+// claim is that 8 suffice.
+func BenchmarkAblationSAQCount(b *testing.B) {
+	benchAblation(b, func(o Options) (*Table, error) { return experiments.AblationSAQCount(o, nil) })
+}
+
+// BenchmarkAblationThreshold sweeps the congestion-detection threshold
+// (A2): lower detects faster but allocates SAQs on transients.
+func BenchmarkAblationThreshold(b *testing.B) {
+	benchAblation(b, func(o Options) (*Table, error) { return experiments.AblationThreshold(o, nil) })
+}
+
+// BenchmarkAblationTokenBoost toggles the §3.8 arbiter priority boost
+// for near-empty token-owning SAQs (A3).
+func BenchmarkAblationTokenBoost(b *testing.B) {
+	benchAblation(b, experiments.AblationTokenBoost)
+}
+
+// BenchmarkAblationMarkers toggles the §3.8 in-order markers (A4):
+// without them RECN reorders packets.
+func BenchmarkAblationMarkers(b *testing.B) {
+	benchAblation(b, experiments.AblationMarkers)
+}
+
+// BenchmarkLatencyExtension quantifies the intro's latency claim:
+// per-mechanism latency distributions before/during/after the tree.
+func BenchmarkLatencyExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.LatencyFig(2, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTables(b, []*Table{tab})
+		}
+	}
+}
+
+// BenchmarkSimulatorCore measures raw simulator throughput (events/s)
+// on a saturated 64-host network, independent of any figure.
+func BenchmarkSimulatorCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := Corner(2, 64, 64, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run{
+			Hosts:    64,
+			Policy:   PolicyRECN,
+			Workload: c.Install,
+			Until:    c.SimEnd,
+		}.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}

@@ -1,0 +1,79 @@
+// Command recnsim reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	recnsim -fig 2a [-scale 0.5] [-pkt 64] [-rows 40]
+//	recnsim -list
+//	recnsim -all [-scale 0.25]
+//
+// Figure IDs: table1, 2a–2d, 3a/3b, 4a/4b, 5a/5b, 6a/6b,
+// pkt512a/pkt512b, a1–a4. Scale 1.0 runs the paper's full durations
+// (slow); smaller scales compress simulated time proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure/table ID to reproduce (see -list)")
+		all    = flag.Bool("all", false, "reproduce everything")
+		list   = flag.Bool("list", false, "list figure IDs")
+		scale  = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
+		pkt    = flag.Int("pkt", 0, "packet size in bytes (default per figure)")
+		rows   = flag.Int("rows", 40, "max table rows")
+		quiet  = flag.Bool("q", false, "suppress timing output")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(repro.FigureIDs(), "\n"))
+		return
+	case *all:
+		for _, id := range repro.FigureIDs() {
+			runOne(id, *scale, *pkt, *rows, *quiet, *format)
+		}
+		return
+	case *fig != "":
+		runOne(*fig, *scale, *pkt, *rows, *quiet, *format)
+		return
+	}
+	flag.Usage()
+	os.Exit(2)
+}
+
+func runOne(id string, scale float64, pkt, rows int, quiet bool, format string) {
+	start := time.Now()
+	tables, err := repro.Reproduce(id, repro.Options{
+		Scale:      scale,
+		PacketSize: pkt,
+		MaxRows:    rows,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recnsim: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if format == "csv" {
+			if err := t.FprintCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "recnsim: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if !quiet {
+		fmt.Printf("# %s done in %v (scale %.2f)\n\n", id, time.Since(start).Round(time.Millisecond), scale)
+	}
+}

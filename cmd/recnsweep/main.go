@@ -1,0 +1,80 @@
+// Command recnsweep runs parameter sweeps over the RECN design knobs:
+// SAQ count per port, congestion-detection threshold, token priority
+// boost and in-order markers (the ablations A1–A4 in DESIGN.md).
+//
+// Usage:
+//
+//	recnsweep -sweep saqs [-counts 1,2,4,8,16] [-scale 0.25]
+//	recnsweep -sweep threshold [-kb 4,8,16,32,64]
+//	recnsweep -sweep boost
+//	recnsweep -sweep markers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		sweep  = flag.String("sweep", "saqs", "sweep to run: saqs, threshold, boost, markers")
+		counts = flag.String("counts", "", "comma-separated SAQ counts (saqs sweep)")
+		kb     = flag.String("kb", "", "comma-separated detection thresholds in KB (threshold sweep)")
+		scale  = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
+	)
+	flag.Parse()
+	o := repro.Options{Scale: *scale}
+
+	var id string
+	switch *sweep {
+	case "saqs":
+		id = "a1"
+	case "threshold":
+		id = "a2"
+	case "boost":
+		id = "a3"
+	case "markers":
+		id = "a4"
+	default:
+		fmt.Fprintf(os.Stderr, "recnsweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+
+	// Custom sweep values go through the experiment package's
+	// list-taking entry points.
+	var tables []*repro.Table
+	var err error
+	switch {
+	case id == "a1" && *counts != "":
+		tables, err = repro.SweepSAQs(o, parseInts(*counts, 1))
+	case id == "a2" && *kb != "":
+		tables, err = repro.SweepThresholds(o, parseInts(*kb, 1024))
+	default:
+		tables, err = repro.Reproduce(id, o)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}
+
+func parseInts(s string, mult int) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "recnsweep: bad value %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v*mult)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Mesh: RECN on a direct network. The paper (§3) notes the strategy is
+// "valid for any network topology, including both direct networks
+// (e.g., meshes and tori) and MINs" — the same switch fabric and RECN
+// controllers run unchanged on a 2D mesh with dimension-order routing;
+// only the topology (wiring + deterministic routes) differs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const cols, rows = 8, 8
+	hot := 27 // switch (3,3): an interior hotspot
+
+	fmt.Printf("8×8 mesh, XY routing: 4 corner hosts blast host %d while\n", hot)
+	fmt.Println("row flows share the corner-to-column turn switches with them")
+	fmt.Println()
+	fmt.Printf("%-8s %16s %16s %12s\n", "policy", "hot [B]", "background [B]", "peak SAQs")
+
+	for _, policy := range []repro.Policy{repro.Policy1Q, repro.PolicyRECN} {
+		net, err := repro.NewMeshNetwork(cols, rows, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Hotspot sources at the four corners — their XY paths converge
+		// on (3,3) and form a congestion tree.
+		for _, src := range []int{0, 7, 56, 63} {
+			src := src
+			var gen func()
+			gen = func() {
+				if net.Engine.Now() > 150*repro.Microsecond {
+					return
+				}
+				if err := net.InjectMessage(src, hot, 64); err != nil {
+					log.Fatal(err)
+				}
+				net.Engine.After(128*repro.Nanosecond, gen) // 50% rate
+			}
+			net.Engine.Schedule(0, gen)
+		}
+		// Background flows along rows 0 and 7: they share the input
+		// queues of the turn switches (3,0) and (3,7) with the hot
+		// flows, which is where 1Q suffers HOL blocking.
+		for _, pair := range [][2]int{{1, 6}, {2, 5}, {57, 62}, {58, 61}} {
+			src, dst := pair[0], pair[1]
+			var gen func()
+			gen = func() {
+				if net.Engine.Now() > 150*repro.Microsecond {
+					return
+				}
+				if err := net.InjectMessage(src, dst, 64); err != nil {
+					log.Fatal(err)
+				}
+				net.Engine.After(192*repro.Nanosecond, gen) // 33% rate
+			}
+			net.Engine.Schedule(0, gen)
+		}
+		var hotBytes, bgBytes uint64
+		peak := 0
+		net.OnDeliver = func(p *repro.Packet) {
+			if p.Dst == hot {
+				hotBytes += uint64(p.Size)
+			} else {
+				bgBytes += uint64(p.Size)
+			}
+		}
+		var poll func()
+		poll = func() {
+			if total, _, _ := net.SAQUsage(); total > peak {
+				peak = total
+			}
+			if net.Engine.Now() < 150*repro.Microsecond {
+				net.Engine.After(repro.Microsecond, poll)
+			}
+		}
+		net.Engine.Schedule(0, poll)
+		net.Engine.Run(150 * repro.Microsecond)
+		fmt.Printf("%-8s %16d %16d %12d\n", policy, hotBytes, bgBytes, peak)
+		net.Engine.Drain()
+		if err := net.CheckQuiesced(); err != nil {
+			log.Fatalf("%v: %v", policy, err)
+		}
+	}
+	fmt.Println()
+	fmt.Println("expected: hot delivery is bottlenecked identically (one link),")
+	fmt.Println("but RECN delivers more background bytes than 1Q — the tree is")
+	fmt.Println("isolated in SAQs instead of blocking the shared row queues.")
+}

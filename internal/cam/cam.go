@@ -1,0 +1,122 @@
+// Package cam models the content-addressable memory attached to every
+// group of set-aside queues (paper §3.4, Figure 1). Each CAM line holds
+// the routing information — the path from this port to the root of a
+// congestion tree. Every incoming packet's destination routing field is
+// compared against all lines; the longest match selects the SAQ the
+// packet must be stored in (paper §3.6), which automatically resolves
+// overlapping congestion trees and subtree relationships.
+package cam
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+)
+
+// Table is a fixed-capacity CAM. Line IDs are stable for the lifetime
+// of an allocation and double as SAQ identifiers.
+type Table struct {
+	paths []pkt.Path
+	valid []bool
+	byKey map[string]int
+	used  int
+}
+
+// New returns a CAM with the given number of lines.
+func New(capacity int) *Table {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cam: invalid capacity %d", capacity))
+	}
+	return &Table{
+		paths: make([]pkt.Path, capacity),
+		valid: make([]bool, capacity),
+		byKey: make(map[string]int, capacity),
+	}
+}
+
+// Capacity returns the number of CAM lines.
+func (t *Table) Capacity() int { return len(t.paths) }
+
+// Used returns the number of allocated lines.
+func (t *Table) Used() int { return t.used }
+
+// Full reports whether no line is free.
+func (t *Table) Full() bool { return t.used == len(t.paths) }
+
+// Allocate claims a free line for path p. It returns (-1, false) when
+// the CAM is full — the caller then refuses the congestion notification
+// and returns the token (paper §3.8). Allocating a path that is already
+// present panics: callers must Lookup first (duplicate notifications
+// are filtered by the sender-side flags).
+func (t *Table) Allocate(p pkt.Path) (int, bool) {
+	if _, ok := t.byKey[p.Key()]; ok {
+		panic(fmt.Sprintf("cam: duplicate allocation of path %v", p))
+	}
+	if t.Full() {
+		return -1, false
+	}
+	for id := range t.valid {
+		if !t.valid[id] {
+			t.valid[id] = true
+			t.paths[id] = p
+			t.byKey[p.Key()] = id
+			t.used++
+			return id, true
+		}
+	}
+	panic("cam: inconsistent used count")
+}
+
+// Lookup finds the line holding exactly path p.
+func (t *Table) Lookup(p pkt.Path) (int, bool) {
+	id, ok := t.byKey[p.Key()]
+	return id, ok
+}
+
+// Path returns the path stored in a valid line.
+func (t *Table) Path(id int) pkt.Path {
+	t.check(id)
+	return t.paths[id]
+}
+
+// Free releases a line.
+func (t *Table) Free(id int) {
+	t.check(id)
+	delete(t.byKey, t.paths[id].Key())
+	t.valid[id] = false
+	t.paths[id] = pkt.Path{}
+	t.used--
+}
+
+func (t *Table) check(id int) {
+	if id < 0 || id >= len(t.valid) || !t.valid[id] {
+		panic(fmt.Sprintf("cam: invalid line %d", id))
+	}
+}
+
+// Match performs the longest-prefix match of a packet's remaining route
+// (route[hop:]) against all valid lines. It returns the matching line
+// ID, or (-1, false) when no line matches (the packet then goes to the
+// queue for uncongested flows).
+func (t *Table) Match(route pkt.Route, hop int) (int, bool) {
+	best, bestLen := -1, -1
+	for id, ok := range t.valid {
+		if !ok {
+			continue
+		}
+		p := t.paths[id]
+		if p.Len() > bestLen && p.MatchesRoute(route, hop) {
+			best, bestLen = id, p.Len()
+		}
+	}
+	return best, best >= 0
+}
+
+// ForEach calls fn for every valid line.
+func (t *Table) ForEach(fn func(id int, p pkt.Path)) {
+	for id, ok := range t.valid {
+		if ok {
+			fn(id, t.paths[id])
+		}
+	}
+}

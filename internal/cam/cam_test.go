@@ -1,0 +1,241 @@
+package cam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+)
+
+func TestAllocateLookupFree(t *testing.T) {
+	c := New(4)
+	if c.Capacity() != 4 || c.Used() != 0 || c.Full() {
+		t.Fatalf("fresh CAM: cap=%d used=%d full=%v", c.Capacity(), c.Used(), c.Full())
+	}
+	p := pkt.PathOf(5, 1)
+	id, ok := c.Allocate(p)
+	if !ok {
+		t.Fatal("Allocate failed on empty CAM")
+	}
+	if got, ok := c.Lookup(p); !ok || got != id {
+		t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if !c.Path(id).Equal(p) {
+		t.Fatalf("Path(%d) = %v", id, c.Path(id))
+	}
+	c.Free(id)
+	if _, ok := c.Lookup(p); ok {
+		t.Fatal("Lookup found freed line")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("Used = %d after free", c.Used())
+	}
+}
+
+func TestAllocateFull(t *testing.T) {
+	c := New(2)
+	c.Allocate(pkt.PathOf(1))
+	c.Allocate(pkt.PathOf(2))
+	if id, ok := c.Allocate(pkt.PathOf(3)); ok || id != -1 {
+		t.Fatalf("Allocate on full CAM = (%d,%v)", id, ok)
+	}
+	if !c.Full() {
+		t.Fatal("Full() = false on full CAM")
+	}
+}
+
+func TestDuplicateAllocatePanics(t *testing.T) {
+	c := New(4)
+	c.Allocate(pkt.PathOf(1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Allocate did not panic")
+		}
+	}()
+	c.Allocate(pkt.PathOf(1, 2))
+}
+
+func TestInvalidLinePanics(t *testing.T) {
+	c := New(2)
+	for name, fn := range map[string]func(){
+		"Path out of range": func() { c.Path(5) },
+		"Free unallocated":  func() { c.Free(0) },
+		"New(0)":            func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLongestMatch(t *testing.T) {
+	c := New(8)
+	idShort, _ := c.Allocate(pkt.PathOf(4))
+	idLong, _ := c.Allocate(pkt.PathOf(4, 2))
+	idOther, _ := c.Allocate(pkt.PathOf(6, 1))
+
+	route := pkt.Route{4, 2, 0}
+	// Both 4 and 4.2 match; longest wins (subtree of a larger tree).
+	if id, ok := c.Match(route, 0); !ok || id != idLong {
+		t.Fatalf("Match = (%d,%v), want (%d,true)", id, ok, idLong)
+	}
+	// After the first hop only nothing matches at hop 1 (route 2,0).
+	if _, ok := c.Match(route, 1); ok {
+		t.Fatal("Match at hop 1 should fail")
+	}
+	// A route crossing only the short path.
+	if id, ok := c.Match(pkt.Route{4, 3}, 0); !ok || id != idShort {
+		t.Fatalf("Match = (%d,%v), want (%d,true)", id, ok, idShort)
+	}
+	if id, ok := c.Match(pkt.Route{6, 1, 1, 0}, 0); !ok || id != idOther {
+		t.Fatalf("Match = (%d,%v), want (%d,true)", id, ok, idOther)
+	}
+	// Uncongested flow sharing the output port but not the tree: no match.
+	if _, ok := c.Match(pkt.Route{6, 2}, 0); ok {
+		t.Fatal("unrelated route matched")
+	}
+}
+
+func TestMatchAfterFree(t *testing.T) {
+	c := New(4)
+	id1, _ := c.Allocate(pkt.PathOf(3, 3))
+	id2, _ := c.Allocate(pkt.PathOf(3))
+	c.Free(id1)
+	if id, ok := c.Match(pkt.Route{3, 3, 1}, 0); !ok || id != id2 {
+		t.Fatalf("Match after free = (%d,%v), want (%d,true)", id, ok, id2)
+	}
+}
+
+func TestLineReuse(t *testing.T) {
+	c := New(1)
+	id1, _ := c.Allocate(pkt.PathOf(1))
+	c.Free(id1)
+	id2, ok := c.Allocate(pkt.PathOf(2))
+	if !ok || id2 != id1 {
+		t.Fatalf("line not reused: id2=%d ok=%v", id2, ok)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	c := New(4)
+	c.Allocate(pkt.PathOf(1))
+	id, _ := c.Allocate(pkt.PathOf(2))
+	c.Allocate(pkt.PathOf(3))
+	c.Free(id)
+	var n int
+	c.ForEach(func(id int, p pkt.Path) { n++ })
+	if n != 2 {
+		t.Fatalf("ForEach visited %d lines, want 2", n)
+	}
+}
+
+// Property: Match returns the longest matching line, comparing against a
+// brute-force reference.
+func TestQuickLongestMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(16)
+		type entry struct {
+			id   int
+			path pkt.Path
+		}
+		var entries []entry
+		for i := 0; i < 10; i++ {
+			n := rng.Intn(4) + 1
+			turns := make([]pkt.Turn, n)
+			for j := range turns {
+				turns[j] = pkt.Turn(rng.Intn(4))
+			}
+			p := pkt.PathOf(turns...)
+			if _, ok := c.Lookup(p); ok {
+				continue
+			}
+			id, ok := c.Allocate(p)
+			if !ok {
+				break
+			}
+			entries = append(entries, entry{id, p})
+		}
+		for trial := 0; trial < 20; trial++ {
+			route := make(pkt.Route, rng.Intn(6))
+			for j := range route {
+				route[j] = pkt.Turn(rng.Intn(4))
+			}
+			hop := 0
+			if len(route) > 0 {
+				hop = rng.Intn(len(route))
+			}
+			wantID, wantLen := -1, -1
+			for _, e := range entries {
+				if e.path.Len() > wantLen && e.path.MatchesRoute(route, hop) {
+					wantID, wantLen = e.id, e.path.Len()
+				}
+			}
+			gotID, gotOK := c.Match(route, hop)
+			if gotOK != (wantID >= 0) {
+				return false
+			}
+			if gotOK && c.Path(gotID).Len() != wantLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Used() always equals allocations minus frees, and Allocate
+// succeeds iff not Full.
+func TestQuickUsedInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(8)
+		live := map[int]bool{}
+		next := byte(0)
+		for _, op := range ops {
+			if op%2 == 0 {
+				full := c.Full()
+				next++
+				id, ok := c.Allocate(pkt.PathOf(next, byte(op)))
+				if ok == full {
+					return false
+				}
+				if ok {
+					live[id] = true
+				}
+			} else if len(live) > 0 {
+				for id := range live {
+					c.Free(id)
+					delete(live, id)
+					break
+				}
+			}
+			if c.Used() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatch8Lines(b *testing.B) {
+	c := New(8)
+	for i := 0; i < 8; i++ {
+		c.Allocate(pkt.PathOf(pkt.Turn(i), pkt.Turn(i%4)))
+	}
+	route := pkt.Route{7, 3, 2, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Match(route, 0)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// LatencyFig is an extension experiment (not a paper figure): the
+// paper's introduction motivates congestion management with packet
+// latency "increasing by several orders of magnitude" — this table
+// quantifies it on a corner case, splitting each mechanism's latency
+// distribution into before/during/after the congestion tree.
+func LatencyFig(corner int, o Options) (*Table, error) {
+	o = o.withDefaults()
+	policies := o.Policies
+	if policies == nil {
+		policies = []fabric.Policy{fabric.PolicyVOQnet, fabric.Policy1Q, fabric.PolicyRECN}
+	}
+	workload, until, err := CornerWorkload(corner, 64, o.PacketSize, o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Extension: packet latency, corner case %d (windows in paper time)", corner),
+		Header: []string{"policy", "window", "mean", "p50", "p99", "max"},
+		Notes: []string{
+			"paper intro: without congestion management, latency grows by orders of magnitude",
+		},
+	}
+	windows := []struct {
+		name     string
+		from, to sim.Time
+	}{
+		{"before", 0, o.t(790)},
+		{"during", o.t(800), o.t(980)},
+		{"after", o.t(1100), o.t(1600)},
+	}
+	for _, p := range policies {
+		lats := make([]*stats.Latency, len(windows))
+		for i := range lats {
+			lats[i] = stats.NewLatency()
+		}
+		run := Run{
+			Hosts:      64,
+			Policy:     p,
+			PacketSize: o.PacketSize,
+			Workload:   workload,
+			Until:      until,
+			Observe: func(now sim.Time, pk *pkt.Packet) {
+				for i, w := range windows {
+					if now >= w.from && now < w.to {
+						lats[i].Add(now - pk.CreatedAt)
+					}
+				}
+			},
+		}
+		if _, err := run.Execute(); err != nil {
+			return nil, err
+		}
+		for i, w := range windows {
+			l := lats[i]
+			t.AddRow(p.String(), w.name, l.Mean().String(), l.Quantile(0.5).String(),
+				l.Quantile(0.99).String(), l.Max().String())
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,170 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 4): the corner-case and SAN-trace throughput
+// curves (Figures 2–3), the SAQ utilization series (Figures 4–5), the
+// scalability runs (Figure 6), Table 1, and a set of ablations on the
+// design choices (SAQ count, thresholds, token priority boost, in-order
+// markers).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// netAdapter exposes a fabric.Network as a traffic.Network.
+type netAdapter struct {
+	n *fabric.Network
+}
+
+func (a netAdapter) Hosts() int                      { return a.n.Topology().NumHosts() }
+func (a netAdapter) Now() sim.Time                   { return a.n.Engine.Now() }
+func (a netAdapter) Schedule(at sim.Time, fn func()) { a.n.Engine.Schedule(at, fn) }
+func (a netAdapter) Inject(src, dst, size int) {
+	if err := a.n.InjectMessage(src, dst, size); err != nil {
+		panic(err) // generator bugs must not pass silently
+	}
+}
+
+// Run describes one simulation of one mechanism under one workload.
+type Run struct {
+	Hosts      int
+	Policy     fabric.Policy
+	PacketSize int
+	// Workload installs the traffic generators.
+	Workload func(traffic.Network) error
+	// Until is the measurement horizon; events beyond it still drain
+	// if DrainAll is set.
+	Until sim.Time
+	// Bin is the reporting bin width.
+	Bin sim.Time
+	// DrainAll keeps simulating past the horizon until the network is
+	// empty, then verifies the quiesce invariants (used by tests; the
+	// figure runs cut off at the horizon like the paper's plots).
+	DrainAll bool
+	// Mutate, if set, adjusts the fabric configuration (ablations).
+	Mutate func(*fabric.Config)
+	// Observe, if set, sees every delivered packet (after the built-in
+	// meters).
+	Observe func(now sim.Time, p *pkt.Packet)
+}
+
+// Result carries everything measured during a run.
+type Result struct {
+	Policy          fabric.Policy
+	Throughput      *stats.Throughput
+	SAQ             *stats.SAQSeries
+	Latency         *stats.Latency
+	Injected        uint64
+	Delivered       uint64
+	OrderViolations uint64
+	Events          uint64
+}
+
+// Execute builds the network, installs the workload and simulates.
+func (r Run) Execute() (*Result, error) {
+	if r.Until <= 0 {
+		return nil, fmt.Errorf("experiments: no horizon")
+	}
+	if r.Bin <= 0 {
+		r.Bin = r.Until / 100
+	}
+	topo, err := topology.ForHosts(r.Hosts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fabric.DefaultConfig(topo)
+	cfg.Policy = r.Policy
+	if r.PacketSize > 0 {
+		cfg.PacketSize = r.PacketSize
+	}
+	// The paper gives the 512-host network 192 KB ports so VOQnet can
+	// hold one queue per destination (§4.1).
+	if r.Policy == fabric.PolicyVOQnet && r.Hosts == 512 {
+		cfg.PortMemory = units.PortMemoryLarge
+	}
+	if r.Mutate != nil {
+		r.Mutate(&cfg)
+	}
+	net, err := fabric.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Policy:     r.Policy,
+		Throughput: stats.NewThroughput(r.Bin),
+		SAQ:        stats.NewSAQSeries(r.Bin),
+		Latency:    stats.NewLatency(),
+	}
+	net.OnDeliver = func(p *pkt.Packet) {
+		now := net.Engine.Now()
+		res.Throughput.Add(now, p.Size)
+		res.Latency.Add(now - p.CreatedAt)
+		if r.Observe != nil {
+			r.Observe(now, p)
+		}
+	}
+	if r.Policy == fabric.PolicyRECN {
+		period := r.Bin / 4
+		if period <= 0 {
+			period = r.Bin
+		}
+		var sample func()
+		sample = func() {
+			total, maxIn, maxEg := net.SAQUsage()
+			res.SAQ.Observe(net.Engine.Now(), stats.SAQSample{Total: total, MaxIngress: maxIn, MaxEgress: maxEg})
+			if net.Engine.Now() < r.Until {
+				net.Engine.After(period, sample)
+			}
+		}
+		net.Engine.Schedule(0, sample)
+	}
+	if r.Workload != nil {
+		if err := r.Workload(netAdapter{net}); err != nil {
+			return nil, err
+		}
+	}
+	net.Engine.Run(r.Until)
+	if r.DrainAll {
+		net.Engine.Drain()
+		if err := net.CheckQuiesced(); err != nil {
+			return nil, err
+		}
+	}
+	res.Injected = net.InjectedPackets
+	res.Delivered = net.DeliveredPackets
+	res.OrderViolations = net.OrderViolations
+	res.Events = net.Engine.Executed
+	return res, nil
+}
+
+// CornerWorkload wraps traffic.Corner as a Run workload.
+func CornerWorkload(number, hosts, msgSize int, scale float64) (func(traffic.Network) error, sim.Time, error) {
+	c, err := traffic.Corner(number, hosts, msgSize, scale)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.Install, c.SimEnd, nil
+}
+
+// CelloWorkload wraps the cello trace model as a Run workload; the run
+// horizon extends past generation so queued replies are observed.
+func CelloWorkload(compression, scale float64) (func(traffic.Network) error, sim.Time) {
+	c := traffic.DefaultCello(compression)
+	c.Duration = sim.Time(float64(c.Duration) * scale)
+	horizon := c.Duration + c.Duration/4
+	return c.Install, horizon
+}
+
+// celloMutate configures the fabric for trace replays: the paper
+// replays every trace record, so host-side admittance buffering is
+// unbounded (the finite AdmitCap models open-loop synthetic sources
+// and would drop bulk I/O replies policy-dependently).
+func celloMutate(cfg *fabric.Config) { cfg.AdmitCap = 0 }

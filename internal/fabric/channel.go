@@ -1,0 +1,152 @@
+package fabric
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/recn"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// creditMsg returns flow-control credit to the upstream sender.
+// queue is the remote ingress queue index for queue-level credits
+// (VOQ mechanisms) or -1 for port-level credits.
+type creditMsg struct {
+	bytes int
+	queue int
+}
+
+// linkSink receives everything arriving on one link direction. Data and
+// tokens address the ingress unit of the receiving port; credits and
+// the remaining RECN messages address the co-located egress unit (they
+// answer traffic this side previously sent).
+type linkSink interface {
+	arriveData(p *pkt.Packet)
+	arriveCredit(c creditMsg)
+	arriveCtl(m recn.CtlMsg)
+}
+
+// dataSource is the egress side feeding a channel with data packets.
+type dataSource interface {
+	// pickData pops the next eligible data packet (consuming credits)
+	// or returns nil when nothing can be sent right now.
+	pickData() *txOrigin
+	// txDone is called when the packet has fully left the port RAM.
+	txDone(o *txOrigin)
+}
+
+// txOrigin remembers where a departing packet came from so residency
+// can be released and controllers informed on completion.
+type txOrigin struct {
+	p     *pkt.Packet
+	q     queueHandle
+	saq   *recn.SAQ // nil for normal queues
+	bytes int
+}
+
+type ctlItem struct {
+	size   int
+	credit *creditMsg
+	recn   *recn.CtlMsg
+}
+
+// channel is one direction of a full-duplex pipelined link: a
+// serializer shared by data packets and control messages (credits and
+// RECN notifications), with control given priority (paper §4.1: flow
+// control packets share the link bandwidth with data packets).
+type channel struct {
+	net     *Network
+	src     dataSource
+	sink    linkSink
+	rate    units.Rate
+	latency sim.Time
+
+	busyUntil sim.Time
+	ctl       []ctlItem // FIFO, consumed from index ctlHead
+	ctlHead   int
+
+	kickPending bool
+}
+
+func newChannel(net *Network, src dataSource, sink linkSink) *channel {
+	return &channel{
+		net:     net,
+		src:     src,
+		sink:    sink,
+		rate:    units.LinkRate,
+		latency: net.cfg.LinkLatency,
+	}
+}
+
+// pushCredit enqueues a credit return.
+func (ch *channel) pushCredit(bytes, queue int) {
+	ch.ctl = append(ch.ctl, ctlItem{size: ch.net.cfg.CreditSize, credit: &creditMsg{bytes: bytes, queue: queue}})
+	ch.kick()
+}
+
+// pushCtl enqueues a RECN control message.
+func (ch *channel) pushCtl(m recn.CtlMsg) {
+	mm := m
+	ch.ctl = append(ch.ctl, ctlItem{size: m.Size(), recn: &mm})
+	ch.kick()
+}
+
+// kick triggers a transmission attempt: synchronously when the link is
+// idle (kick is only ever called from event context), or scheduled for
+// the moment the link frees (deduplicated).
+func (ch *channel) kick() {
+	if ch.kickPending {
+		return
+	}
+	e := ch.net.Engine
+	if e.Now() >= ch.busyUntil {
+		ch.attempt()
+		return
+	}
+	ch.kickPending = true
+	e.Schedule(ch.busyUntil, ch.attempt)
+}
+
+func (ch *channel) attempt() {
+	ch.kickPending = false
+	e := ch.net.Engine
+	if e.Now() < ch.busyUntil {
+		ch.kick()
+		return
+	}
+	// Control messages first: they are tiny and keep flow control and
+	// RECN responsive.
+	if ch.ctlHead < len(ch.ctl) {
+		item := ch.ctl[ch.ctlHead]
+		ch.ctl[ch.ctlHead] = ctlItem{}
+		ch.ctlHead++
+		if ch.ctlHead == len(ch.ctl) {
+			ch.ctl = ch.ctl[:0]
+			ch.ctlHead = 0
+		}
+		ser := ch.rate.Serialize(item.size)
+		ch.busyUntil = e.Now() + ser
+		e.Schedule(ch.busyUntil+ch.latency, func() {
+			if item.credit != nil {
+				ch.sink.arriveCredit(*item.credit)
+			} else {
+				ch.sink.arriveCtl(*item.recn)
+			}
+		})
+		ch.kick() // keep draining
+		return
+	}
+	// Then data, as chosen by the egress arbiter.
+	o := ch.src.pickData()
+	if o == nil {
+		return
+	}
+	ser := ch.rate.Serialize(o.bytes)
+	ch.busyUntil = e.Now() + ser
+	e.Schedule(ch.busyUntil, func() {
+		ch.src.txDone(o)
+		ch.kick()
+	})
+	e.Schedule(ch.busyUntil+ch.latency, func() {
+		ch.sink.arriveData(o.p)
+	})
+}

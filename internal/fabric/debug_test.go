@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/recn"
+	"repro/internal/sim"
+)
+
+// saqAlias keeps the dump callbacks terse.
+type saqAlias = recn.SAQ
+
+// dumpStuck prints where packets are stranded after a drain — a debug
+// aid for flow-control/RECN stalls.
+func dumpStuck(t *testing.T, n *Network) {
+	t.Helper()
+	for _, sw := range n.switches {
+		for p, in := range sw.in {
+			if in == nil {
+				continue
+			}
+			if in.pool.Used() > 0 {
+				desc := fmt.Sprintf("sw %d in[%d]: pool used %d;", sw.id, p, in.pool.Used())
+				for qi, q := range in.qs {
+					if q.Entries() > 0 || q.ResidentBytes() > 0 {
+						desc += fmt.Sprintf(" q%d{pkts %d, ent %d, res %d}", qi, q.Packets(), q.Entries(), q.ResidentBytes())
+					}
+				}
+				if in.rc != nil {
+					in.rc.ForEachSAQ(func(s *saqAlias) {})
+				}
+				t.Log(desc)
+			}
+			if in.rc != nil {
+				in.rc.ForEachSAQ(func(s *saqAlias) {
+					t.Logf("sw %d in[%d] SAQ %v: pkts %d res %d blocked=%v leaf=%v",
+						sw.id, p, s.Path, s.Q.Packets(), s.Q.ResidentBytes(), s.Blocked(), s.Leaf())
+				})
+			}
+		}
+		for p, out := range sw.out {
+			if out == nil {
+				continue
+			}
+			if out.pool.Used() > 0 {
+				t.Logf("sw %d out[%d]: pool used %d, normal pkts %d, credits %d/%d",
+					sw.id, p, out.pool.Used(), out.qs[0].Packets(), out.portCredits, out.initPort)
+			}
+			if out.rc != nil {
+				if out.rc.Root() {
+					t.Logf("sw %d out[%d]: ROOT", sw.id, p)
+				}
+				out.rc.ForEachSAQ(func(s *saqAlias) {
+					t.Logf("sw %d out[%d] SAQ %v: pkts %d res %d blocked=%v leaf=%v",
+						sw.id, p, s.Path, s.Q.Packets(), s.Q.ResidentBytes(), s.Blocked(), s.Leaf())
+				})
+			}
+		}
+	}
+	for h, nic := range n.nics {
+		if nic.backlog > 0 || nic.inj.pool.Used() > 0 {
+			t.Logf("NIC %d: backlog %d, inj pool %d, credits %d/%d",
+				h, nic.backlog, nic.inj.pool.Used(), nic.inj.portCredits, nic.inj.initPort)
+			if nic.inj.rc != nil {
+				nic.inj.rc.ForEachSAQ(func(s *saqAlias) {
+					t.Logf("NIC %d SAQ %v: pkts %d blocked=%v leaf=%v", h, s.Path, s.Q.Packets(), s.Blocked(), s.Leaf())
+				})
+			}
+		}
+	}
+}
+
+func TestDebugHotspotStall(t *testing.T) {
+	n := newNet(t, 64, PolicyRECN)
+	hot := 32
+	for i := 0; i < 16; i++ {
+		src := 48 + i
+		var gen func()
+		gen = func() {
+			if n.Engine.Now() > 60*sim.Microsecond {
+				return
+			}
+			if err := n.InjectMessage(src, hot, 64); err != nil {
+				t.Fatal(err)
+			}
+			n.Engine.After(64*sim.Nanosecond, gen)
+		}
+		n.Engine.Schedule(0, gen)
+	}
+	n.Engine.Drain()
+	if n.PendingPackets() != 0 {
+		t.Logf("pending: %d (injected %d, delivered %d)", n.PendingPackets(), n.InjectedPackets, n.DeliveredPackets)
+		dumpStuck(t, n)
+		t.Fail()
+	}
+}

@@ -1,0 +1,53 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/recn"
+)
+
+// DumpCongestion writes a human-readable snapshot of every congested
+// element: roots, allocated SAQs, deep queues. Debug aid.
+func (n *Network) DumpCongestion(w io.Writer) {
+	dumpSAQ := func(kind string, sw, port int, s *recn.SAQ) {
+		fmt.Fprintf(w, "  %s sw%d[%d] SAQ path=%v q=%dB/%dpkts blocked=%v leaf=%v\n",
+			kind, sw, port, s.Path, s.Q.QueuedBytes(), s.Q.Packets(), s.Blocked(), s.Leaf())
+	}
+	for _, sw := range n.switches {
+		for p, in := range sw.in {
+			if in == nil {
+				continue
+			}
+			if q := in.qs[0].QueuedBytes(); q > 4096 {
+				fmt.Fprintf(w, "  in sw%d[%d] normal q=%dB\n", sw.id, p, q)
+			}
+			if in.rc != nil {
+				in.rc.ForEachSAQ(func(s *recn.SAQ) { dumpSAQ("in", sw.id, p, s) })
+			}
+		}
+		for p, out := range sw.out {
+			if out == nil {
+				continue
+			}
+			if out.rc != nil && out.rc.Root() {
+				level := -1
+				if lv, ok := n.topo.(interface{ SwitchLevel(int) int }); ok {
+					level = lv.SwitchLevel(sw.id)
+				}
+				fmt.Fprintf(w, "ROOT sw%d out[%d] (level %d) normal q=%dB pool=%dB credits=%d\n",
+					sw.id, p, level, out.qs[0].QueuedBytes(), out.pool.Used(), out.portCredits)
+			} else if q := out.qs[0].QueuedBytes(); q > 4096 {
+				fmt.Fprintf(w, "  out sw%d[%d] normal q=%dB credits=%d\n", sw.id, p, q, out.portCredits)
+			}
+			if out.rc != nil {
+				out.rc.ForEachSAQ(func(s *recn.SAQ) { dumpSAQ("out", sw.id, p, s) })
+			}
+		}
+	}
+	for h, nic := range n.nics {
+		if nic.inj.rc != nil && nic.inj.rc.ActiveSAQs() > 0 {
+			nic.inj.rc.ForEachSAQ(func(s *recn.SAQ) { dumpSAQ("nic", h, 0, s) })
+		}
+	}
+}

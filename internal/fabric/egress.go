@@ -1,0 +1,390 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/mempool"
+	"repro/internal/pkt"
+	"repro/internal/recn"
+)
+
+// egressUnit is the output side of a switch port, or a NIC injection
+// port (sw == nil). It owns the port's data RAM on the egress side, the
+// policy queues (plus a RECN controller when enabled), the outgoing
+// link channel and the flow-control credits for the remote input
+// buffer.
+type egressUnit struct {
+	net  *Network
+	sw   *Switch // nil for NIC injection ports
+	nic  *NIC    // nil for switch output ports
+	port int     // output port index within the switch (0 for NICs)
+
+	pool   *mempool.Pool
+	qs     []*mempool.Queue
+	active *activeList
+	rc     *recn.Egress
+
+	ch         *channel
+	remoteHost bool
+
+	// Flow-control credits toward the remote input buffer: port-level
+	// for 1Q/4Q/RECN and host links, queue-level for the VOQ
+	// mechanisms (paper §4.1).
+	portCredits  int
+	queueCredits []int
+	initPort     int
+	initQueue    int
+
+	rr         int // round-robin cursor over active normal queues
+	saqRR      int // round-robin cursor over SAQs
+	saqScratch []*recn.SAQ
+	// wrrDebt counts consecutive normal-queue grants; once it reaches
+	// NormalWeight an eligible SAQ is served first (the paper's
+	// weighted round-robin with normal queues preferred).
+	wrrDebt int
+}
+
+// newEgressUnit builds the unit; channels and credits are wired later.
+func newEgressUnit(net *Network, sw *Switch, port int, terminal bool) *egressUnit {
+	cfg := net.cfg
+	u := &egressUnit{
+		net:  net,
+		sw:   sw,
+		port: port,
+		pool: mempool.NewPool(cfg.PortMemory),
+	}
+	nq, cap := egressQueuePlan(cfg)
+	u.qs = make([]*mempool.Queue, nq)
+	for i := range u.qs {
+		u.qs[i] = mempool.NewQueue(u.pool, cap)
+	}
+	u.active = newActiveList(nq)
+	if cfg.Policy == PolicyRECN {
+		u.rc = recn.NewEgress(cfg.RECN, port, u.pool, u.qs, terminal, u)
+	}
+	return u
+}
+
+// egressQueuePlan returns the number of policy queues and per-queue cap
+// at an output port for the configured mechanism.
+func egressQueuePlan(cfg Config) (n, cap int) {
+	switch cfg.Policy {
+	case Policy1Q, PolicyVOQsw:
+		return 1, 0
+	case PolicyRECN:
+		return cfg.TrafficClasses, 0
+	case Policy4Q:
+		return 4, 0
+	case PolicyVOQnet:
+		hosts := cfg.Topo.NumHosts()
+		return hosts, cfg.PortMemory / hosts
+	default:
+		panic(fmt.Sprintf("fabric: unknown policy %v", cfg.Policy))
+	}
+}
+
+// attach wires the outgoing channel and initializes credits for the
+// remote input buffer.
+func (u *egressUnit) attach(sink linkSink, remoteHost bool) {
+	u.ch = newChannel(u.net, u, sink)
+	u.remoteHost = remoteHost
+	cfg := u.net.cfg
+	u.portCredits = cfg.PortMemory
+	u.initPort = cfg.PortMemory
+	if !remoteHost {
+		switch cfg.Policy {
+		case PolicyVOQsw:
+			ports := cfg.Topo.PortsPerSwitch()
+			u.queueCredits = make([]int, ports)
+			u.initQueue = cfg.PortMemory / ports
+		case PolicyVOQnet:
+			hosts := cfg.Topo.NumHosts()
+			u.queueCredits = make([]int, hosts)
+			u.initQueue = cfg.PortMemory / hosts
+		}
+		for i := range u.queueCredits {
+			u.queueCredits[i] = u.initQueue
+		}
+	}
+}
+
+// creditIndex returns the remote ingress queue a packet will occupy
+// (queue-level credits), or -1 for port-level credit accounting.
+func (u *egressUnit) creditIndex(p *pkt.Packet) int {
+	if u.queueCredits == nil {
+		return -1
+	}
+	switch u.net.cfg.Policy {
+	case PolicyVOQsw:
+		return int(p.NextTurn())
+	case PolicyVOQnet:
+		return p.Dst
+	}
+	return -1
+}
+
+func (u *egressUnit) hasCredit(p *pkt.Packet) bool {
+	if idx := u.creditIndex(p); idx >= 0 {
+		return u.queueCredits[idx] >= p.Size
+	}
+	return u.portCredits >= p.Size
+}
+
+func (u *egressUnit) consumeCredit(p *pkt.Packet) {
+	if idx := u.creditIndex(p); idx >= 0 {
+		u.queueCredits[idx] -= p.Size
+		return
+	}
+	u.portCredits -= p.Size
+}
+
+// addCredit applies a returned credit and retries transmission.
+func (u *egressUnit) addCredit(c creditMsg) {
+	if c.queue >= 0 && u.queueCredits != nil {
+		u.queueCredits[c.queue] += c.bytes
+	} else {
+		u.portCredits += c.bytes
+	}
+	u.ch.kick()
+}
+
+// checkCredits verifies all credits returned (quiesce invariant).
+func (u *egressUnit) checkCredits() error {
+	if u.portCredits != u.initPort {
+		return fmt.Errorf("port credits %d, want %d", u.portCredits, u.initPort)
+	}
+	for i, c := range u.queueCredits {
+		if c != u.initQueue {
+			return fmt.Errorf("queue %d credits %d, want %d", i, c, u.initQueue)
+		}
+	}
+	return nil
+}
+
+// classify returns the queue an arriving packet goes to. hop indexes
+// the packet's remaining route as seen by the next switch.
+func (u *egressUnit) classify(p *pkt.Packet, hop int) queueHandle {
+	switch u.net.cfg.Policy {
+	case Policy1Q, PolicyVOQsw:
+		return queueHandle{u.qs[0], 0}
+	case Policy4Q:
+		best := 0
+		for i := 1; i < len(u.qs); i++ {
+			if u.qs[i].QueuedBytes() < u.qs[best].QueuedBytes() {
+				best = i
+			}
+		}
+		return queueHandle{u.qs[best], best}
+	case PolicyVOQnet:
+		return queueHandle{u.qs[p.Dst], p.Dst}
+	case PolicyRECN:
+		if s := u.rc.Classify(p.Route, hop); s != nil {
+			return queueHandle{s.Q, -1}
+		}
+		cls := int(p.Class)
+		return queueHandle{u.qs[cls], cls}
+	}
+	panic("fabric: unknown policy")
+}
+
+// admitProbe reports whether a packet can be accepted right now (buffer
+// space only). hop is the route position after this port (p.Hop+1 when
+// probing from the crossbar, p.Hop at a NIC).
+func (u *egressUnit) admitProbe(p *pkt.Packet, hop int) bool {
+	if u.rc != nil {
+		if s := u.rc.Classify(p.Route, hop); s != nil {
+			return s.Q.CanAccept(p.Size)
+		}
+		return u.qs[p.Class].CanAccept(p.Size)
+	}
+	h := u.classify(p, hop)
+	return h.q.CanAccept(p.Size)
+}
+
+// gated reports the internal Xon/Xoff stop signal of the target SAQ
+// (paper §3.7). It applies only to transmissions from same-switch
+// ingress SAQs (and the NIC admittance pump) — never to normal-queue
+// packets, which would otherwise suffer the very HOL blocking RECN
+// eliminates.
+func (u *egressUnit) gated(p *pkt.Packet, hop int) bool {
+	return u.rc != nil && u.rc.GatedInternally(p.Route, hop)
+}
+
+// storePacket accepts a packet into the port (from the crossbar, or
+// from the NIC admittance pump with fromIngress == -1). The packet's
+// Hop must already point at the next switch.
+func (u *egressUnit) storePacket(p *pkt.Packet, fromIngress int) {
+	var s *recn.SAQ
+	var h queueHandle
+	if u.rc != nil {
+		if s = u.rc.Classify(p.Route, p.Hop); s != nil {
+			h = queueHandle{s.Q, -1}
+		} else {
+			h = queueHandle{u.qs[p.Class], int(p.Class)}
+		}
+	} else {
+		h = u.classify(p, p.Hop)
+	}
+	h.q.Push(p.Size, p)
+	if h.idx >= 0 {
+		u.active.add(h.idx)
+	}
+	if u.rc != nil {
+		u.rc.OnStored(s, fromIngress, p.Size)
+	}
+	u.ch.kick()
+}
+
+// pickData implements dataSource: the output link arbiter (paper §4.1:
+// weighted round robin, normal queues preferred over SAQs, boosted
+// token-owning SAQs first).
+func (u *egressUnit) pickData() *txOrigin {
+	if u.rc != nil {
+		// Highest priority: near-empty token-owning SAQs (paper §3.8).
+		if o := u.pickSAQ(true); o != nil {
+			return o
+		}
+		if u.wrrDebt >= u.net.cfg.NormalWeight {
+			if o := u.pickSAQ(false); o != nil {
+				return o
+			}
+		}
+	}
+	if o := u.pickNormal(); o != nil {
+		return o
+	}
+	if u.rc != nil {
+		return u.pickSAQ(false)
+	}
+	return nil
+}
+
+func (u *egressUnit) pickNormal() *txOrigin {
+	if u.rc != nil {
+		// RECN: scan the class queues directly (round-robin) so markers
+		// placed by the controller (which bypass the active list) are
+		// always peeled.
+		n := len(u.qs)
+		for i := 0; i < n; i++ {
+			idx := (u.rr + i) % n
+			q := u.qs[idx]
+			p, ok := peelHead(q, u.rc.ResolveMarker)
+			if !ok || !u.hasCredit(p) {
+				continue
+			}
+			u.rr = idx + 1
+			u.wrrDebt++
+			return u.grant(queueHandle{q, idx}, nil, p)
+		}
+		return nil
+	}
+	// Round-robin over the non-empty queues. The list can shrink while
+	// scanning; every iteration either removes an entry or advances
+	// `tried`, so the loop terminates.
+	tried := 0
+	for u.active.len() > 0 && tried < u.active.len() {
+		idx := u.active.at(u.rr % u.active.len())
+		q := u.qs[idx]
+		p, ok := peelHead(q, nil)
+		if !ok {
+			u.active.remove(idx)
+			continue
+		}
+		if !u.hasCredit(p) {
+			u.rr++
+			tried++
+			continue
+		}
+		u.rr++
+		return u.grant(queueHandle{q, idx}, nil, p)
+	}
+	return nil
+}
+
+func (u *egressUnit) pickSAQ(boostedOnly bool) *txOrigin {
+	if u.rc.ActiveSAQs() == 0 {
+		return nil
+	}
+	saqs := u.saqScratch[:0]
+	u.rc.ForEachSAQ(func(s *recn.SAQ) { saqs = append(saqs, s) })
+	u.saqScratch = saqs[:0]
+	n := len(saqs)
+	for i := 0; i < n; i++ {
+		s := saqs[(u.saqRR+i)%n]
+		// Peel markers first (allowed even while the SAQ is blocked —
+		// popping a marker is a control-RAM operation, not a packet
+		// transmission).
+		p, ok := peelHead(s.Q, u.rc.ResolveMarker)
+		if !ok {
+			continue
+		}
+		if boostedOnly && !u.rc.Boosted(s) {
+			continue
+		}
+		if !u.rc.EligibleTx(s) {
+			continue
+		}
+		if !u.hasCredit(p) {
+			continue
+		}
+		u.saqRR = (u.saqRR + i + 1) % n
+		u.wrrDebt = 0
+		return u.grant(queueHandle{s.Q, -1}, s, p)
+	}
+	return nil
+}
+
+func (u *egressUnit) grant(h queueHandle, s *recn.SAQ, p *pkt.Packet) *txOrigin {
+	h.q.Pop()
+	if h.idx >= 0 && h.q.Entries() == 0 {
+		u.active.remove(h.idx)
+	}
+	u.consumeCredit(p)
+	return &txOrigin{p: p, q: h, saq: s, bytes: p.Size}
+}
+
+// txDone implements dataSource: the packet has fully left the RAM.
+func (u *egressUnit) txDone(o *txOrigin) {
+	o.q.q.ReleaseResident(o.bytes)
+	if u.rc != nil {
+		u.rc.OnDrained(o.saq)
+	}
+	if u.sw != nil {
+		// Output buffer space freed: inputs blocked on it may proceed.
+		u.sw.kickAllInputs()
+	} else {
+		u.nic.pump()
+	}
+}
+
+// --- recn.EgressEffects ---
+
+// NotifyIngress delivers an internal congestion notification to input
+// port `ingress` of the same switch (instantaneous: intra-switch
+// signaling is far below link-serialization timescales).
+func (u *egressUnit) NotifyIngress(ingress int, path pkt.Path) bool {
+	if u.sw == nil {
+		panic("fabric: NIC injection port notified an ingress")
+	}
+	in := u.sw.in[ingress]
+	if in == nil || in.rc == nil {
+		return false
+	}
+	ok := in.rc.OnNotifyLocal(path)
+	if ok {
+		// A marker was placed in the ingress normal queue; ensure the
+		// arbiter runs so it can be peeled even if no further packets
+		// arrive at that port.
+		in.kick()
+		u.net.scheduleSweep()
+	}
+	return ok
+}
+
+// SendTokenDownstream forwards a token over the link (paper §3.5).
+func (u *egressUnit) SendTokenDownstream(path pkt.Path, refused bool) {
+	u.ch.pushCtl(recn.CtlMsg{Kind: recn.MsgToken, Path: path, Refused: refused})
+}
+
+var _ recn.EgressEffects = (*egressUnit)(nil)
+var _ dataSource = (*egressUnit)(nil)

@@ -1,0 +1,488 @@
+// Package fabric assembles the full simulated network: switches with
+// input/output buffered ports and a multiplexed crossbar, full-duplex
+// pipelined links carrying data and control traffic, NICs with
+// admittance and injection queues, credit-based flow control, and the
+// five queuing mechanisms the paper compares (1Q, 4Q, VOQsw, VOQnet and
+// RECN).
+//
+// The model follows the paper's Section 4.1: 8 Gbps links, a 12 Gbps
+// multiplexed crossbar per switch, 128 KB of data RAM per port shared
+// by dynamically allocated queues, port-level credits (queue-level for
+// the VOQ mechanisms), per-SAQ Xon/Xoff, and control packets that share
+// link bandwidth with data.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+	"repro/internal/recn"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Policy selects the queue organization at every port (paper §4.3).
+type Policy int
+
+const (
+	// Policy1Q: a single queue per input and output port (worst case).
+	Policy1Q Policy = iota
+	// Policy4Q: four queues per port; packets go to the least occupied
+	// (virtual channels).
+	Policy4Q
+	// PolicyVOQsw: per input port, one queue per switch output port.
+	PolicyVOQsw
+	// PolicyVOQnet: one queue per final destination at every input and
+	// output port (the non-scalable best case).
+	PolicyVOQnet
+	// PolicyRECN: one queue for uncongested flows plus dynamically
+	// allocated SAQs (the paper's proposal).
+	PolicyRECN
+)
+
+// Policies lists all mechanisms in the order the paper presents them.
+var Policies = []Policy{PolicyVOQnet, Policy1Q, PolicyVOQsw, Policy4Q, PolicyRECN}
+
+func (p Policy) String() string {
+	switch p {
+	case Policy1Q:
+		return "1Q"
+	case Policy4Q:
+		return "4Q"
+	case PolicyVOQsw:
+		return "VOQsw"
+	case PolicyVOQnet:
+		return "VOQnet"
+	case PolicyRECN:
+		return "RECN"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a mechanism name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("fabric: unknown policy %q (want 1Q, 4Q, VOQsw, VOQnet or RECN)", s)
+}
+
+// Topology is what the fabric needs from a network graph: port wiring,
+// host attachment and deterministic source routes. The perfect-shuffle
+// MINs of the paper (*topology.Topology) implement it, and so does the
+// 2D mesh (*topology.Mesh) — RECN itself is topology-agnostic as long
+// as routing is deterministic (the remaining path from any switch to a
+// destination must be unique, paper §3).
+type Topology interface {
+	NumHosts() int
+	NumSwitches() int
+	// PortsPerSwitch bounds port indices; unused ports answer
+	// Peer(...).Kind == KindNone.
+	PortsPerSwitch() int
+	Peer(sw, port int) topology.End
+	HostAttach(host int) (sw, port int)
+	Route(src, dst int) (pkt.Route, error)
+}
+
+// Config describes one network instance.
+type Config struct {
+	// Topo is the network topology (required).
+	Topo Topology
+	// Policy is the queuing mechanism.
+	Policy Policy
+	// PacketSize in bytes (the paper uses 64 and 512).
+	PacketSize int
+	// PortMemory is the data RAM per port in bytes (default 128 KB;
+	// the paper uses 192 KB for the 512-host network under VOQnet).
+	PortMemory int
+	// LinkLatency is the pipelined link fly time.
+	LinkLatency sim.Time
+	// CreditSize is the wire size of a credit return.
+	CreditSize int
+	// NormalWeight is the weighted-round-robin preference of normal
+	// queues over SAQs: out of NormalWeight+1 grants at most one goes
+	// to a SAQ while normal traffic is waiting.
+	NormalWeight int
+	// AdmitCap bounds each NIC admittance queue (host buffering per
+	// destination): a new message is discarded at the host when its
+	// queue already holds at least this many bytes. 0 = unbounded.
+	// Finite host buffers are what lets a hotspot's backlog drain in
+	// the hundreds of microseconds the paper's recovery curves show,
+	// rather than persisting for milliseconds.
+	AdmitCap int
+	// TrafficClasses is the number of queues for uncongested flows at
+	// every RECN port (paper footnote 1: several such queues provide
+	// multiple traffic classes; one is enough for congestion
+	// management). Packets carry a class chosen at injection.
+	TrafficClasses int
+	// RECN holds the controller thresholds (used only by PolicyRECN).
+	RECN recn.Config
+}
+
+// DefaultConfig returns the evaluation defaults for a topology.
+func DefaultConfig(topo Topology) Config {
+	mem := units.PortMemory
+	return Config{
+		Topo:        topo,
+		Policy:      PolicyRECN,
+		PacketSize:  64,
+		PortMemory:  mem,
+		LinkLatency: 20 * sim.Nanosecond,
+		CreditSize:  8,
+		// Normal queues are preferred over SAQs, but a hard service
+		// ratio would throttle SAQ-captured flows below their offered
+		// load and make congestion self-sustaining; alternation
+		// (weight 1) preserves the preference while staying
+		// work-conserving for the set-aside traffic.
+		NormalWeight:   1,
+		AdmitCap:       12 * 1024,
+		TrafficClasses: 1,
+		RECN:           recn.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("fabric: nil topology")
+	}
+	if c.PacketSize <= 0 || c.PacketSize > c.PortMemory {
+		return fmt.Errorf("fabric: packet size %d vs port memory %d", c.PacketSize, c.PortMemory)
+	}
+	if c.LinkLatency < 0 {
+		return fmt.Errorf("fabric: negative link latency")
+	}
+	if c.CreditSize <= 0 {
+		return fmt.Errorf("fabric: credit size %d", c.CreditSize)
+	}
+	if c.NormalWeight < 1 {
+		return fmt.Errorf("fabric: normal weight %d < 1", c.NormalWeight)
+	}
+	if c.AdmitCap < 0 {
+		return fmt.Errorf("fabric: negative admittance cap")
+	}
+	if c.TrafficClasses < 1 || c.TrafficClasses > 256 {
+		return fmt.Errorf("fabric: traffic classes %d outside [1, 256]", c.TrafficClasses)
+	}
+	if c.Policy == PolicyRECN {
+		if err := c.RECN.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Policy == PolicyVOQnet && c.PortMemory/c.Topo.NumHosts() < c.PacketSize {
+		return fmt.Errorf("fabric: VOQnet queue capacity %d bytes cannot hold a %d-byte packet (raise PortMemory, the paper uses 192 KB for 512 hosts)",
+			c.PortMemory/c.Topo.NumHosts(), c.PacketSize)
+	}
+	return nil
+}
+
+// Network is one fully wired simulation instance. All methods must be
+// called from the simulation goroutine.
+type Network struct {
+	Engine *sim.Engine
+	cfg    Config
+	topo   Topology
+
+	switches []*Switch
+	nics     []*NIC
+
+	pktSeq       uint64
+	sweepPending bool
+
+	// OnDeliver, when set, observes every packet at the instant it is
+	// fully delivered to its destination host.
+	OnDeliver func(p *pkt.Packet)
+
+	// Aggregate counters.
+	InjectedPackets  uint64
+	InjectedBytes    uint64
+	DeliveredPackets uint64
+	DeliveredBytes   uint64
+	OrderViolations  uint64
+	// DroppedMessages counts messages discarded at hosts because the
+	// admittance queue for their destination was full (AdmitCap).
+	// These never enter the network — the fabric itself is lossless.
+	DroppedMessages uint64
+
+	lastSeq map[uint64]uint64 // (src,dst) → last delivered seq
+}
+
+// New builds a network. The engine clock starts at zero.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Engine:  sim.NewEngine(),
+		cfg:     cfg,
+		topo:    cfg.Topo,
+		lastSeq: make(map[uint64]uint64),
+	}
+	topo := cfg.Topo
+	n.switches = make([]*Switch, topo.NumSwitches())
+	for id := range n.switches {
+		n.switches[id] = newSwitch(n, id)
+	}
+	n.nics = make([]*NIC, topo.NumHosts())
+	for h := range n.nics {
+		n.nics[h] = newNIC(n, h)
+	}
+	// Wire channels now that all units exist.
+	for _, sw := range n.switches {
+		sw.wire()
+	}
+	for _, nic := range n.nics {
+		nic.wire()
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the network topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// NIC returns the network interface of a host.
+func (n *Network) NIC(host int) *NIC { return n.nics[host] }
+
+// Switch returns a switch by ID.
+func (n *Network) Switch(id int) *Switch { return n.switches[id] }
+
+// InjectMessage generates a message of the given size at src destined
+// to dst at the current simulation time (traffic class 0). The message
+// is packetized into PacketSize packets and stored in the NIC
+// admittance queue for dst.
+func (n *Network) InjectMessage(src, dst, size int) error {
+	return n.InjectMessageClass(src, dst, size, 0)
+}
+
+// InjectMessageClass is InjectMessage with an explicit traffic class
+// (must be below Config.TrafficClasses).
+func (n *Network) InjectMessageClass(src, dst, size int, class uint8) error {
+	if src == dst {
+		return fmt.Errorf("fabric: message from host %d to itself", src)
+	}
+	if src < 0 || src >= len(n.nics) || dst < 0 || dst >= len(n.nics) {
+		return fmt.Errorf("fabric: message %d→%d out of range", src, dst)
+	}
+	if size <= 0 {
+		return fmt.Errorf("fabric: message size %d", size)
+	}
+	if int(class) >= n.cfg.TrafficClasses {
+		return fmt.Errorf("fabric: class %d outside the %d configured", class, n.cfg.TrafficClasses)
+	}
+	return n.nics[src].injectMessage(dst, size, class)
+}
+
+// idleSweepPeriod is how often idle never-used SAQs are collected so
+// their tokens return and congestion trees can collapse (see
+// recn.SweepIdle). Sweeps self-schedule only while SAQs exist, so a
+// quiescent network drains its event queue.
+const idleSweepPeriod = 50 * sim.Microsecond
+
+// scheduleSweep arms the idle-SAQ sweep (deduplicated). Called whenever
+// a SAQ may have been allocated.
+func (n *Network) scheduleSweep() {
+	if n.sweepPending || n.cfg.Policy != PolicyRECN {
+		return
+	}
+	n.sweepPending = true
+	n.Engine.After(idleSweepPeriod, n.runSweep)
+}
+
+func (n *Network) runSweep() {
+	n.sweepPending = false
+	for _, sw := range n.switches {
+		for _, in := range sw.in {
+			if in != nil && in.rc != nil {
+				in.rc.SweepIdle()
+			}
+		}
+		for _, out := range sw.out {
+			if out != nil && out.rc != nil {
+				out.rc.SweepIdle()
+			}
+		}
+	}
+	for _, nic := range n.nics {
+		if nic.inj.rc != nil {
+			nic.inj.rc.SweepIdle()
+		}
+	}
+	if total, _, _ := n.SAQUsage(); total > 0 {
+		n.sweepPending = true
+		n.Engine.After(idleSweepPeriod, n.runSweep)
+	}
+}
+
+// deliver is called by a NIC when a packet fully arrives at its host.
+func (n *Network) deliver(p *pkt.Packet) {
+	n.DeliveredPackets++
+	n.DeliveredBytes += uint64(p.Size)
+	key := uint64(p.Src)<<40 | uint64(uint32(p.Dst))<<8 | uint64(p.Class)
+	if last, ok := n.lastSeq[key]; ok && p.Seq <= last {
+		n.OrderViolations++
+	} else {
+		n.lastSeq[key] = p.Seq
+	}
+	if n.OnDeliver != nil {
+		n.OnDeliver(p)
+	}
+}
+
+// SAQUsage returns the current total number of allocated SAQs in the
+// whole network and the maximum per ingress and egress port (the series
+// plotted in the paper's Figures 4–6). NIC injection ports count as
+// egress ports.
+func (n *Network) SAQUsage() (total, maxIngress, maxEgress int) {
+	for _, sw := range n.switches {
+		for _, in := range sw.in {
+			if in == nil || in.rc == nil {
+				continue
+			}
+			c := in.rc.ActiveSAQs()
+			total += c
+			if c > maxIngress {
+				maxIngress = c
+			}
+		}
+		for _, out := range sw.out {
+			if out == nil || out.rc == nil {
+				continue
+			}
+			c := out.rc.ActiveSAQs()
+			total += c
+			if c > maxEgress {
+				maxEgress = c
+			}
+		}
+	}
+	for _, nic := range n.nics {
+		if nic.inj.rc == nil {
+			continue
+		}
+		c := nic.inj.rc.ActiveSAQs()
+		total += c
+		if c > maxEgress {
+			maxEgress = c
+		}
+	}
+	return total, maxIngress, maxEgress
+}
+
+// RECNStats aggregates the controller event counters over the whole
+// network (all ingress and egress controllers plus NIC injection
+// ports). Zero value when the policy is not RECN.
+func (n *Network) RECNStats() recn.Stats {
+	var agg recn.Stats
+	add := func(s recn.Stats) {
+		agg.Allocs += s.Allocs
+		agg.Deallocs += s.Deallocs
+		agg.Refusals += s.Refusals
+		agg.NotifySent += s.NotifySent
+		agg.TokensSent += s.TokensSent
+		agg.XoffSent += s.XoffSent
+		agg.XonSent += s.XonSent
+		agg.StaleMsgs += s.StaleMsgs
+		agg.MarkersPlaced += s.MarkersPlaced
+	}
+	for _, sw := range n.switches {
+		for _, in := range sw.in {
+			if in != nil && in.rc != nil {
+				add(in.rc.Stats())
+			}
+		}
+		for _, out := range sw.out {
+			if out != nil && out.rc != nil {
+				add(out.rc.Stats())
+			}
+		}
+	}
+	for _, nic := range n.nics {
+		if nic.inj.rc != nil {
+			add(nic.inj.rc.Stats())
+		}
+	}
+	return agg
+}
+
+// RootCount returns how many output ports are currently congestion-tree
+// roots.
+func (n *Network) RootCount() int {
+	count := 0
+	for _, sw := range n.switches {
+		for _, out := range sw.out {
+			if out != nil && out.rc != nil && out.rc.Root() {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// PendingPackets returns injected minus delivered packets — zero after
+// the network quiesces (the losslessness check).
+func (n *Network) PendingPackets() uint64 {
+	return n.InjectedPackets - n.DeliveredPackets
+}
+
+// CheckQuiesced verifies end-of-run invariants: every packet delivered,
+// all RAM released, all credits returned, all SAQs deallocated and no
+// congestion roots left. It returns a descriptive error on violation.
+func (n *Network) CheckQuiesced() error {
+	if n.PendingPackets() != 0 {
+		return fmt.Errorf("fabric: %d packets still pending", n.PendingPackets())
+	}
+	for _, sw := range n.switches {
+		for p, in := range sw.in {
+			if in == nil {
+				continue
+			}
+			if in.pool.Used() != 0 {
+				return fmt.Errorf("fabric: switch %d in[%d] RAM leak: %d bytes", sw.id, p, in.pool.Used())
+			}
+			if in.rc != nil && in.rc.ActiveSAQs() != 0 {
+				return fmt.Errorf("fabric: switch %d in[%d] leaks %d SAQs", sw.id, p, in.rc.ActiveSAQs())
+			}
+		}
+		for p, out := range sw.out {
+			if out == nil {
+				continue
+			}
+			if out.pool.Used() != 0 {
+				return fmt.Errorf("fabric: switch %d out[%d] RAM leak: %d bytes", sw.id, p, out.pool.Used())
+			}
+			if out.rc != nil {
+				if out.rc.ActiveSAQs() != 0 {
+					return fmt.Errorf("fabric: switch %d out[%d] leaks %d SAQs", sw.id, p, out.rc.ActiveSAQs())
+				}
+				if out.rc.Root() {
+					return fmt.Errorf("fabric: switch %d out[%d] still a root", sw.id, p)
+				}
+			}
+			if err := out.checkCredits(); err != nil {
+				return fmt.Errorf("fabric: switch %d out[%d]: %w", sw.id, p, err)
+			}
+		}
+	}
+	for h, nic := range n.nics {
+		if nic.inj.pool.Used() != 0 {
+			return fmt.Errorf("fabric: NIC %d RAM leak: %d bytes", h, nic.inj.pool.Used())
+		}
+		if nic.inj.rc != nil && nic.inj.rc.ActiveSAQs() != 0 {
+			return fmt.Errorf("fabric: NIC %d leaks %d SAQs", h, nic.inj.rc.ActiveSAQs())
+		}
+		if err := nic.inj.checkCredits(); err != nil {
+			return fmt.Errorf("fabric: NIC %d: %w", h, err)
+		}
+		if nic.backlog != 0 {
+			return fmt.Errorf("fabric: NIC %d admittance backlog %d", h, nic.backlog)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/mempool"
+	"repro/internal/pkt"
+	"repro/internal/recn"
+)
+
+// ingressUnit is the input side of a switch port. It receives packets
+// from the link, holds them in the policy queues (plus SAQs under
+// RECN), and requests crossbar transfers toward the output ports. It is
+// also the link sink for its port: credits and RECN control addressed
+// to the co-located egress unit are dispatched from here.
+type ingressUnit struct {
+	net  *Network
+	sw   *Switch
+	port int
+
+	pool   *mempool.Pool
+	qs     []*mempool.Queue
+	active *activeList
+	rc     *recn.Ingress
+
+	// revCh is the co-located egress unit's channel: credits and
+	// upstream RECN messages travel on it.
+	revCh *channel
+
+	rr          int
+	saqRR       int
+	saqScratch  []*recn.SAQ
+	wrrDebt     int
+	kickPending bool
+}
+
+func newIngressUnit(net *Network, sw *Switch, port int) *ingressUnit {
+	cfg := net.cfg
+	u := &ingressUnit{
+		net:  net,
+		sw:   sw,
+		port: port,
+		pool: mempool.NewPool(cfg.PortMemory),
+	}
+	nq, cap := ingressQueuePlan(cfg)
+	u.qs = make([]*mempool.Queue, nq)
+	for i := range u.qs {
+		u.qs[i] = mempool.NewQueue(u.pool, cap)
+	}
+	u.active = newActiveList(nq)
+	if cfg.Policy == PolicyRECN {
+		u.rc = recn.NewIngress(cfg.RECN, port, u.pool, u.qs, u)
+	}
+	return u
+}
+
+// ingressQueuePlan returns the number of policy queues and per-queue
+// cap at an input port for the configured mechanism (paper §4.3).
+func ingressQueuePlan(cfg Config) (n, cap int) {
+	switch cfg.Policy {
+	case Policy1Q:
+		return 1, 0
+	case PolicyRECN:
+		return cfg.TrafficClasses, 0
+	case Policy4Q:
+		return 4, 0
+	case PolicyVOQsw:
+		ports := cfg.Topo.PortsPerSwitch()
+		return ports, cfg.PortMemory / ports
+	case PolicyVOQnet:
+		hosts := cfg.Topo.NumHosts()
+		return hosts, cfg.PortMemory / hosts
+	default:
+		panic(fmt.Sprintf("fabric: unknown policy %v", cfg.Policy))
+	}
+}
+
+// classify returns the queue an arriving packet goes to (p.Hop indexes
+// the turn at this switch).
+func (u *ingressUnit) classify(p *pkt.Packet) (queueHandle, *recn.SAQ) {
+	switch u.net.cfg.Policy {
+	case Policy1Q:
+		return queueHandle{u.qs[0], 0}, nil
+	case Policy4Q:
+		best := 0
+		for i := 1; i < len(u.qs); i++ {
+			if u.qs[i].QueuedBytes() < u.qs[best].QueuedBytes() {
+				best = i
+			}
+		}
+		return queueHandle{u.qs[best], best}, nil
+	case PolicyVOQsw:
+		idx := int(p.NextTurn())
+		return queueHandle{u.qs[idx], idx}, nil
+	case PolicyVOQnet:
+		return queueHandle{u.qs[p.Dst], p.Dst}, nil
+	case PolicyRECN:
+		if s := u.rc.Classify(p.Route, p.Hop); s != nil {
+			return queueHandle{s.Q, -1}, s
+		}
+		cls := int(p.Class)
+		return queueHandle{u.qs[cls], cls}, nil
+	}
+	panic("fabric: unknown policy")
+}
+
+// kick schedules an arbitration attempt (deduplicated).
+func (u *ingressUnit) kick() {
+	if u.kickPending {
+		return
+	}
+	u.kickPending = true
+	u.net.Engine.Schedule(u.net.Engine.Now(), u.arbit)
+}
+
+// arbit is the crossbar request arbiter for this input port: pick the
+// highest-priority eligible head packet whose output lane and output
+// buffer are available, and start the transfer. Priorities follow the
+// paper: boosted token-owning SAQs, then normal queues, then SAQs, with
+// a weighted round-robin so SAQs are not starved.
+func (u *ingressUnit) arbit() {
+	u.kickPending = false
+	if u.sw.inBusy[u.port] {
+		return
+	}
+	if u.rc != nil {
+		if u.arbitSAQ(true) {
+			return
+		}
+		if u.wrrDebt >= u.net.cfg.NormalWeight && u.arbitSAQ(false) {
+			return
+		}
+	}
+	if u.arbitNormal() {
+		return
+	}
+	if u.rc != nil {
+		u.arbitSAQ(false)
+	}
+}
+
+func (u *ingressUnit) arbitNormal() bool {
+	if u.rc != nil {
+		// RECN: scan the class queues directly (round-robin) so markers
+		// placed by the controller (which bypass the active list) are
+		// always peeled.
+		n := len(u.qs)
+		for i := 0; i < n; i++ {
+			idx := (u.rr + i) % n
+			q := u.qs[idx]
+			p, ok := peelHead(q, u.rc.ResolveMarker)
+			if !ok || !u.canForward(p, false) {
+				continue
+			}
+			u.rr = idx + 1
+			u.wrrDebt++
+			u.sw.startTransfer(u, queueHandle{q, idx}, nil, p)
+			return true
+		}
+		return false
+	}
+	// Round-robin over the non-empty queues; each iteration removes an
+	// entry or advances `tried`, so the loop terminates.
+	tried := 0
+	for u.active.len() > 0 && tried < u.active.len() {
+		idx := u.active.at(u.rr % u.active.len())
+		q := u.qs[idx]
+		p, ok := peelHead(q, nil)
+		if !ok {
+			u.active.remove(idx)
+			continue
+		}
+		if !u.canForward(p, false) {
+			u.rr++
+			tried++
+			continue
+		}
+		u.rr++
+		u.sw.startTransfer(u, queueHandle{q, idx}, nil, p)
+		return true
+	}
+	return false
+}
+
+func (u *ingressUnit) arbitSAQ(boostedOnly bool) bool {
+	if u.rc.ActiveSAQs() == 0 {
+		return false
+	}
+	saqs := u.saqScratch[:0]
+	u.rc.ForEachSAQ(func(s *recn.SAQ) { saqs = append(saqs, s) })
+	u.saqScratch = saqs[:0]
+	n := len(saqs)
+	for i := 0; i < n; i++ {
+		s := saqs[(u.saqRR+i)%n]
+		// Peel markers first: popping a marker is a control-RAM
+		// operation allowed even while the SAQ itself is blocked, and
+		// resolving it may unblock another SAQ (or deallocate this
+		// one, making s stale for the rest of this iteration).
+		p, ok := peelHead(s.Q, u.rc.ResolveMarker)
+		if !ok {
+			continue
+		}
+		if boostedOnly && !u.rc.Boosted(s) {
+			continue
+		}
+		if !u.rc.EligibleTx(s) {
+			continue
+		}
+		if !u.canForward(p, true) {
+			continue
+		}
+		u.saqRR = (u.saqRR + i + 1) % n
+		u.wrrDebt = 0
+		u.sw.startTransfer(u, queueHandle{s.Q, -1}, s, p)
+		return true
+	}
+	return false
+}
+
+// canForward checks the crossbar output lane and the output buffer
+// admission. fromSAQ additionally honors the target SAQ's internal
+// Xon/Xoff gate (paper §3.7: Xoff between SAQs — normal-queue packets
+// are never gated). A denial by a congested target is reported to the
+// egress controller so this input gets its congestion notification even
+// though it cannot store a packet there (see recn.Egress.OnDenied).
+func (u *ingressUnit) canForward(p *pkt.Packet, fromSAQ bool) bool {
+	out := int(p.NextTurn())
+	ou := u.sw.out[out]
+	if ou == nil {
+		panic(fmt.Sprintf("fabric: switch %d route uses unused port %d", u.sw.id, out))
+	}
+	if !ou.admitProbe(p, p.Hop+1) {
+		if ou.rc != nil {
+			ou.rc.OnDenied(p.Route, p.Hop+1, u.port)
+		}
+		return false
+	}
+	if fromSAQ && ou.gated(p, p.Hop+1) {
+		return false
+	}
+	return !u.sw.outBusy[out]
+}
+
+// --- linkSink ---
+
+// arriveData stores a packet arriving over the link. Credits guarantee
+// space; mempool panics otherwise (a flow-control bug).
+func (u *ingressUnit) arriveData(p *pkt.Packet) {
+	h, s := u.classify(p)
+	h.q.Push(p.Size, p)
+	if h.idx >= 0 {
+		u.active.add(h.idx)
+	}
+	if u.rc != nil {
+		u.rc.OnStored(s, p.Size)
+	}
+	// Arrival is an event-context call; arbitrate synchronously rather
+	// than paying for a zero-delay event.
+	u.arbit()
+}
+
+// arriveCredit hands a returned credit to the co-located egress unit.
+func (u *ingressUnit) arriveCredit(c creditMsg) {
+	u.sw.out[u.port].addCredit(c)
+}
+
+// arriveCtl dispatches RECN control: notifications and Xon/Xoff address
+// the co-located egress unit; tokens address this ingress.
+func (u *ingressUnit) arriveCtl(m recn.CtlMsg) {
+	switch m.Kind {
+	case recn.MsgToken:
+		if u.rc != nil {
+			u.rc.OnTokenFromUpstream(m.Path, m.Refused)
+		}
+	case recn.MsgNotify:
+		out := u.sw.out[u.port]
+		if out.rc != nil {
+			out.rc.OnUpstreamNotification(m.Path)
+			// A marker may have been placed in the normal queue; make
+			// sure the arbiter runs so it can be peeled even if no
+			// further packets arrive.
+			out.ch.kick()
+			u.net.scheduleSweep()
+		}
+	case recn.MsgXoff:
+		out := u.sw.out[u.port]
+		if out.rc != nil {
+			out.rc.OnXoffFromDownstream(m.Path)
+		}
+	case recn.MsgXon:
+		out := u.sw.out[u.port]
+		if out.rc != nil {
+			out.rc.OnXonFromDownstream(m.Path)
+			out.ch.kick() // the SAQ may transmit again
+		}
+	}
+}
+
+// --- recn.IngressEffects ---
+
+// SendUpstream transmits a RECN control message on the reverse link.
+func (u *ingressUnit) SendUpstream(m recn.CtlMsg) { u.revCh.pushCtl(m) }
+
+// TokenToEgress returns a branch token to a local output port.
+func (u *ingressUnit) TokenToEgress(egress int, rest pkt.Path) {
+	ou := u.sw.out[egress]
+	if ou == nil || ou.rc == nil {
+		panic(fmt.Sprintf("fabric: token to unused port %d of switch %d", egress, u.sw.id))
+	}
+	ou.rc.OnTokenFromIngress(u.port, rest)
+}
+
+var _ linkSink = (*ingressUnit)(nil)
+var _ recn.IngressEffects = (*ingressUnit)(nil)

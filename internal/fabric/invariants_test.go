@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Small-network invariant sweep: a 16-host (2-stage) network is cheap
+// enough to run many randomized workloads under every policy and check
+// the global invariants each time.
+func TestSmallNetworkInvariantSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	for _, policy := range Policies {
+		for seed := int64(1); seed <= 4; seed++ {
+			policy, seed := policy, seed
+			t.Run(policy.String(), func(t *testing.T) {
+				n := newNet(t, 16, policy)
+				rng := rand.New(rand.NewSource(seed))
+				// Mixed load: uniform background plus a rotating hotspot.
+				for h := 0; h < 16; h++ {
+					h := h
+					var gen func()
+					gen = func() {
+						now := n.Engine.Now()
+						if now > 40*sim.Microsecond {
+							return
+						}
+						dst := rng.Intn(16)
+						if rng.Intn(3) == 0 {
+							dst = int(now/(10*sim.Microsecond)) % 16 // hotspot rotates
+						}
+						if dst == h {
+							dst = (dst + 1) % 16
+						}
+						size := 64 * (1 + rng.Intn(4))
+						if err := n.InjectMessage(h, dst, size); err != nil {
+							t.Fatal(err)
+						}
+						n.Engine.After(sim.Time(64+rng.Intn(256))*sim.Nanosecond, gen)
+					}
+					n.Engine.Schedule(sim.Time(h)*sim.Nanosecond, gen)
+				}
+				n.Engine.Drain()
+				if n.PendingPackets() != 0 {
+					t.Fatalf("seed %d: %d packets lost/stuck", seed, n.PendingPackets())
+				}
+				if policy != Policy4Q && n.OrderViolations != 0 {
+					t.Fatalf("seed %d: %d order violations", seed, n.OrderViolations)
+				}
+				if err := n.CheckQuiesced(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			})
+		}
+	}
+}
+
+// RECN with a single CAM line still delivers everything (refusals cause
+// HOL blocking, never loss or deadlock).
+func TestRECNSingleSAQ(t *testing.T) {
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	cfg.Policy = PolicyRECN
+	cfg.RECN.MaxSAQs = 1
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		src := 4*i + 3
+		var gen func()
+		gen = func() {
+			if n.Engine.Now() > 30*sim.Microsecond {
+				return
+			}
+			if err := n.InjectMessage(src, 32, 64); err != nil {
+				t.Fatal(err)
+			}
+			n.Engine.After(64*sim.Nanosecond, gen)
+		}
+		n.Engine.Schedule(0, gen)
+	}
+	n.Engine.Drain()
+	if n.PendingPackets() != 0 || n.OrderViolations != 0 {
+		t.Fatalf("pending %d, violations %d", n.PendingPackets(), n.OrderViolations)
+	}
+	if err := n.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Markers disabled (ablation A4 plumbing): the network still quiesces;
+// only the ordering guarantee is gone.
+func TestRECNNoMarkersQuiesces(t *testing.T) {
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	cfg.Policy = PolicyRECN
+	cfg.RECN.NoInOrderMarkers = true
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		src := 4*i + 3
+		var gen func()
+		gen = func() {
+			if n.Engine.Now() > 30*sim.Microsecond {
+				return
+			}
+			if err := n.InjectMessage(src, 32, 64); err != nil {
+				t.Fatal(err)
+			}
+			n.Engine.After(64*sim.Nanosecond, gen)
+		}
+		n.Engine.Schedule(0, gen)
+	}
+	n.Engine.Drain()
+	if err := n.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: identical configuration and workload produce identical
+// event counts and delivery counters.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		n := newNet(t, 64, PolicyRECN)
+		rng := rand.New(rand.NewSource(99))
+		for h := 0; h < 32; h++ {
+			h := h
+			var gen func()
+			gen = func() {
+				if n.Engine.Now() > 20*sim.Microsecond {
+					return
+				}
+				dst := rng.Intn(64)
+				if dst == h {
+					dst = (dst + 1) % 64
+				}
+				if err := n.InjectMessage(h, dst, 64); err != nil {
+					t.Fatal(err)
+				}
+				n.Engine.After(sim.Time(100+rng.Intn(100))*sim.Nanosecond, gen)
+			}
+			n.Engine.Schedule(0, gen)
+		}
+		n.Engine.Drain()
+		return n.Engine.Executed, n.DeliveredPackets, n.DeliveredBytes
+	}
+	e1, p1, b1 := run()
+	e2, p2, b2 := run()
+	if e1 != e2 || p1 != p2 || b1 != b2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", e1, p1, b1, e2, p2, b2)
+	}
+}
+
+// The 512-host mixed-radix network delivers across its radix-2 top
+// stage under RECN with a hotspot.
+func TestMixedRadix512Hotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-host network")
+	}
+	n := newNet(t, 512, PolicyRECN)
+	// A few far-apart sources hammer one destination across the top
+	// stage, plus background.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 24; i++ {
+		src := rng.Intn(512)
+		if src == 100 {
+			src++
+		}
+		var gen func()
+		gen = func() {
+			if n.Engine.Now() > 15*sim.Microsecond {
+				return
+			}
+			if err := n.InjectMessage(src, 100, 64); err != nil {
+				t.Fatal(err)
+			}
+			n.Engine.After(64*sim.Nanosecond, gen)
+		}
+		n.Engine.Schedule(0, gen)
+	}
+	n.Engine.Drain()
+	if n.PendingPackets() != 0 || n.OrderViolations != 0 {
+		t.Fatalf("pending %d violations %d", n.PendingPackets(), n.OrderViolations)
+	}
+	if err := n.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+}

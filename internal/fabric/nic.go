@@ -1,0 +1,238 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+	"repro/internal/recn"
+)
+
+// hostQueue is an unbounded FIFO of packets (a NIC admittance queue).
+// Admittance queues model host memory, which the paper treats as
+// unbounded: sources keep generating traffic regardless of congestion.
+type hostQueue struct {
+	ring  []*pkt.Packet
+	head  int
+	count int
+}
+
+func (q *hostQueue) push(p *pkt.Packet) {
+	if q.count == len(q.ring) {
+		n := len(q.ring) * 2
+		if n == 0 {
+			n = 8
+		}
+		next := make([]*pkt.Packet, n)
+		for i := 0; i < q.count; i++ {
+			next[i] = q.ring[(q.head+i)%len(q.ring)]
+		}
+		q.ring = next
+		q.head = 0
+	}
+	q.ring[(q.head+q.count)%len(q.ring)] = p
+	q.count++
+}
+
+func (q *hostQueue) peek() *pkt.Packet { return q.ring[q.head] }
+
+func (q *hostQueue) pop() *pkt.Packet {
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
+	return p
+}
+
+// NIC is a host's network interface (paper §4.1): N admittance queues
+// organized as VOQs (one per destination), an arbiter that moves
+// packetized messages into the injection port, and an injection port
+// that follows the switch-output-port scheme — so under RECN, SAQs are
+// dynamically allocated at the NIC injection side too. The reception
+// side consumes packets at link rate and returns credits.
+type NIC struct {
+	net  *Network
+	host int
+
+	attachSw   int
+	attachPort int
+
+	admit      []hostQueue
+	admitBytes []int // queued bytes per admittance queue (AdmitCap)
+	active     *activeList
+	rr         int
+	backlog    int // packets waiting in admittance queues
+
+	inj *egressUnit
+
+	seq    map[uint32]uint64 // (dst, class) → next sequence number
+	routes []pkt.Route
+
+	pumpScheduled bool
+}
+
+func newNIC(net *Network, host int) *NIC {
+	hosts := net.topo.NumHosts()
+	sw, port := net.topo.HostAttach(host)
+	nic := &NIC{
+		net:        net,
+		host:       host,
+		attachSw:   sw,
+		attachPort: port,
+		admit:      make([]hostQueue, hosts),
+		admitBytes: make([]int, hosts),
+		active:     newActiveList(hosts),
+		seq:        make(map[uint32]uint64),
+		routes:     make([]pkt.Route, hosts),
+	}
+	nic.inj = newEgressUnit(net, nil, 0, true)
+	nic.inj.nic = nic
+	return nic
+}
+
+// wire connects the injection channel to the attachment switch.
+func (nic *NIC) wire() {
+	sink := nic.net.switches[nic.attachSw].in[nic.attachPort]
+	if sink == nil {
+		panic(fmt.Sprintf("fabric: host %d attached to unused port", nic.host))
+	}
+	nic.inj.attach(sink, false)
+}
+
+// Backlog returns the number of packets waiting in admittance queues.
+func (nic *NIC) Backlog() int { return nic.backlog }
+
+// injectMessage packetizes a message and stores it in the admittance
+// queue for its destination (paper §4.1: the message is stored
+// completely in the admittance queue and packetized before transfer to
+// an injection queue).
+func (nic *NIC) injectMessage(dst, size int, class uint8) error {
+	route := nic.routes[dst]
+	if route == nil {
+		r, err := nic.net.topo.Route(nic.host, dst)
+		if err != nil {
+			return err
+		}
+		nic.routes[dst] = r
+		route = r
+	}
+	// Finite host buffering: discard the message when the destination's
+	// admittance queue is already at the cap (the whole message is
+	// accepted when below it, so messages larger than the cap work).
+	if cap := nic.net.cfg.AdmitCap; cap > 0 && nic.admitBytes[dst] >= cap {
+		nic.net.DroppedMessages++
+		return nil
+	}
+	now := nic.net.Engine.Now()
+	pktSize := nic.net.cfg.PacketSize
+	seqKey := uint32(dst)<<8 | uint32(class)
+	for rem := size; rem > 0; rem -= pktSize {
+		sz := pktSize
+		if rem < sz {
+			sz = rem
+		}
+		nic.net.pktSeq++
+		nic.seq[seqKey]++
+		p := &pkt.Packet{
+			ID:        nic.net.pktSeq,
+			Src:       nic.host,
+			Dst:       dst,
+			Size:      sz,
+			Class:     class,
+			Route:     route,
+			Seq:       nic.seq[seqKey],
+			CreatedAt: now,
+		}
+		nic.admit[dst].push(p)
+		nic.admitBytes[dst] += sz
+		nic.active.add(dst)
+		nic.backlog++
+		nic.net.InjectedPackets++
+		nic.net.InjectedBytes += uint64(sz)
+	}
+	nic.pump()
+	return nil
+}
+
+// pump moves packets from admittance queues to the injection port in
+// round-robin order while the injection buffers accept them. Runs as a
+// scheduled event so a burst of messages is handled once.
+func (nic *NIC) pump() {
+	if nic.pumpScheduled {
+		return
+	}
+	nic.pumpScheduled = true
+	nic.net.Engine.Schedule(nic.net.Engine.Now(), nic.runPump)
+}
+
+func (nic *NIC) runPump() {
+	nic.pumpScheduled = false
+	for {
+		moved := false
+		tried := 0
+		for nic.active.len() > 0 && tried < nic.active.len() {
+			idx := nic.active.at(nic.rr % nic.active.len())
+			q := &nic.admit[idx]
+			if q.count == 0 {
+				nic.active.remove(idx)
+				continue
+			}
+			p := q.peek()
+			// The pump honors the injection SAQ's internal gate: the
+			// admittance queues are per-destination VOQs, so holding
+			// one back causes no HOL blocking.
+			if !nic.inj.admitProbe(p, p.Hop) || nic.inj.gated(p, p.Hop) {
+				nic.rr++
+				tried++
+				continue
+			}
+			q.pop()
+			nic.admitBytes[idx] -= p.Size
+			nic.backlog--
+			nic.rr++
+			p.InjectedAt = nic.net.Engine.Now()
+			nic.inj.storePacket(p, -1)
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// --- linkSink (the switch→host channel) ---
+
+// arriveData delivers a packet to the host: it is consumed immediately
+// and the buffer credit returns to the last switch.
+func (nic *NIC) arriveData(p *pkt.Packet) {
+	nic.net.deliver(p)
+	nic.inj.ch.pushCredit(p.Size, -1)
+}
+
+// arriveCredit returns injection credits from the first switch.
+func (nic *NIC) arriveCredit(c creditMsg) { nic.inj.addCredit(c) }
+
+// arriveCtl handles RECN control from the first switch's input port:
+// notifications and Xon/Xoff address the injection port's controller.
+// Tokens toward a host cannot occur (reception ports never notify).
+func (nic *NIC) arriveCtl(m recn.CtlMsg) {
+	if nic.inj.rc == nil {
+		return
+	}
+	switch m.Kind {
+	case recn.MsgNotify:
+		nic.inj.rc.OnUpstreamNotification(m.Path)
+		// A marker may now sit in the injection normal queue; run the
+		// arbiter so it gets peeled even with no new injections.
+		nic.inj.ch.kick()
+		nic.net.scheduleSweep()
+	case recn.MsgXoff:
+		nic.inj.rc.OnXoffFromDownstream(m.Path)
+	case recn.MsgXon:
+		nic.inj.rc.OnXonFromDownstream(m.Path)
+		nic.inj.ch.kick()
+	case recn.MsgToken:
+		// Reception side has no RECN state; ignore.
+	}
+}
+
+var _ linkSink = (*NIC)(nil)

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"repro/internal/mempool"
+	"repro/internal/pkt"
+)
+
+// queueHandle pairs a queue with its index in the owning unit's policy
+// queue array (-1 for SAQs, which are owned by the RECN controllers).
+type queueHandle struct {
+	q   *mempool.Queue
+	idx int
+}
+
+// activeList tracks which of a unit's policy queues are non-empty so
+// arbiters do not scan hundreds of empty VOQnet queues. Membership is
+// O(1) both ways; iteration order is insertion order, with round-robin
+// fairness coming from the caller's rotating cursor.
+type activeList struct {
+	items []int
+	pos   []int // index+1 into items, 0 = absent
+}
+
+func newActiveList(n int) *activeList {
+	return &activeList{pos: make([]int, n)}
+}
+
+func (a *activeList) add(idx int) {
+	if a.pos[idx] != 0 {
+		return
+	}
+	a.items = append(a.items, idx)
+	a.pos[idx] = len(a.items)
+}
+
+func (a *activeList) remove(idx int) {
+	p := a.pos[idx]
+	if p == 0 {
+		return
+	}
+	last := a.items[len(a.items)-1]
+	a.items[p-1] = last
+	a.pos[last] = p
+	a.items = a.items[:len(a.items)-1]
+	a.pos[idx] = 0
+}
+
+func (a *activeList) len() int { return len(a.items) }
+
+func (a *activeList) at(i int) int { return a.items[i] }
+
+// peelHead returns the head packet of a queue, first popping and
+// resolving any in-order markers that reached the head (paper §3.8).
+func peelHead(q *mempool.Queue, resolve func(uid int)) (*pkt.Packet, bool) {
+	for {
+		e, ok := q.Head()
+		if !ok {
+			return nil, false
+		}
+		if e.IsMarker() {
+			q.Pop()
+			if resolve != nil {
+				resolve(e.Marker.SAQ)
+			}
+			continue
+		}
+		return e.Data.(*pkt.Packet), true
+	}
+}

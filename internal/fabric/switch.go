@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+	"repro/internal/recn"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Switch is one 8-port switch: input and output buffered ports joined
+// by a multiplexed 12 Gbps crossbar (paper §3.2, §4.1). A transfer
+// holds one crossbar input lane and one output lane for the packet's
+// serialization time; the per-input-port arbiters grant requests when
+// both lanes and the output buffer are available.
+type Switch struct {
+	net *Network
+	id  int
+
+	in  []*ingressUnit // nil entries for unused ports
+	out []*egressUnit
+
+	inBusy  []bool
+	outBusy []bool
+}
+
+func newSwitch(net *Network, id int) *Switch {
+	topo := net.topo
+	ports := topo.PortsPerSwitch()
+	sw := &Switch{
+		net:     net,
+		id:      id,
+		in:      make([]*ingressUnit, ports),
+		out:     make([]*egressUnit, ports),
+		inBusy:  make([]bool, ports),
+		outBusy: make([]bool, ports),
+	}
+	for p := 0; p < ports; p++ {
+		if topo.Peer(id, p).Kind == topology.KindNone {
+			continue
+		}
+		sw.in[p] = newIngressUnit(net, sw, p)
+		sw.out[p] = newEgressUnit(net, sw, p, false)
+	}
+	return sw
+}
+
+// wire connects every used port's outgoing channel to its peer and
+// pairs each ingress with its reverse channel.
+func (sw *Switch) wire() {
+	topo := sw.net.topo
+	for p, out := range sw.out {
+		if out == nil {
+			continue
+		}
+		end := topo.Peer(sw.id, p)
+		switch end.Kind {
+		case topology.KindHost:
+			out.attach(sw.net.nics[end.Host], true)
+		case topology.KindSwitch:
+			out.attach(sw.net.switches[end.Switch].in[end.Port], false)
+		default:
+			panic(fmt.Sprintf("fabric: wiring unused port %d of switch %d", p, sw.id))
+		}
+		sw.in[p].revCh = out.ch
+	}
+}
+
+// kickAllInputs re-arbitrates every input port (an output lane or
+// output buffer resource was freed). The arbiters run synchronously:
+// they are only ever invoked from event context (transfer/transmission
+// completions), never from inside another arbiter, and a run either
+// starts a timed transfer or does nothing — so this is equivalent to
+// the zero-delay events it replaces at a fraction of the event-queue
+// cost.
+func (sw *Switch) kickAllInputs() {
+	for _, in := range sw.in {
+		if in != nil {
+			in.arbit()
+		}
+	}
+}
+
+// startTransfer moves a granted packet from an input queue through the
+// crossbar into the target output port. Called by the input arbiter
+// once eligibility (lanes, admission) has been verified.
+func (sw *Switch) startTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *pkt.Packet) {
+	out := int(p.NextTurn())
+	sw.inBusy[in.port] = true
+	sw.outBusy[out] = true
+	h.q.Pop()
+	if h.idx >= 0 && h.q.Entries() == 0 {
+		in.active.remove(h.idx)
+	}
+	dur := units.CrossbarRate.Serialize(p.Size)
+	sw.net.Engine.After(dur, func() {
+		sw.completeTransfer(in, h, s, p, out)
+	})
+}
+
+func (sw *Switch) completeTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *pkt.Packet, out int) {
+	sw.inBusy[in.port] = false
+	sw.outBusy[out] = false
+	// The packet left the input RAM: release it and return the credit
+	// to the upstream sender (paper §4.1: credits are granted when a
+	// packet leaves the input port).
+	h.q.ReleaseResident(p.Size)
+	creditQueue := -1
+	if in.qs != nil && h.idx >= 0 && in.net.cfg.Policy.queueCredits() {
+		creditQueue = h.idx
+	}
+	in.revCh.pushCredit(p.Size, creditQueue)
+	if in.rc != nil {
+		in.rc.OnDrained(s)
+	}
+	p.Hop++
+	sw.out[out].storePacket(p, in.port)
+	sw.kickAllInputs()
+}
+
+// queueCredits reports whether the policy uses queue-level credits
+// (paper §4.1: "a credit-based flow control at the queue level has been
+// implemented for the VOQ mechanisms").
+func (p Policy) queueCredits() bool {
+	return p == PolicyVOQsw || p == PolicyVOQnet
+}

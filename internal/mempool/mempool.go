@@ -1,0 +1,216 @@
+// Package mempool models the data RAM attached to every switch port and
+// the dynamically allocated, variable-size queues that live in it
+// (paper §3.2): a high-speed data RAM shared by all queues of a port,
+// with a control RAM holding the pointers. Queues can hold in-order
+// markers (paper §3.8) in addition to packets.
+//
+// Two byte counters are kept per queue:
+//
+//   - queued bytes: packets currently waiting in the queue. Thresholds
+//     (congestion detection, Xon/Xoff) look at this.
+//   - resident bytes: packets whose data still occupies the RAM — the
+//     queued ones plus packets currently being read out through the
+//     crossbar or the link. Flow-control credits protect residency, so
+//     the RAM can never overflow.
+package mempool
+
+import "fmt"
+
+// Pool is the data RAM of one port, shared by all of the port's queues.
+type Pool struct {
+	capacity int
+	used     int
+}
+
+// NewPool returns a pool of the given capacity in bytes.
+func NewPool(capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("mempool: invalid pool capacity %d", capacity))
+	}
+	return &Pool{capacity: capacity}
+}
+
+// Capacity returns the total RAM size in bytes.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Used returns the bytes currently allocated.
+func (p *Pool) Used() int { return p.used }
+
+// Free returns the bytes currently available.
+func (p *Pool) Free() int { return p.capacity - p.used }
+
+func (p *Pool) reserve(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("mempool: reserve %d", n))
+	}
+	if p.used+n > p.capacity {
+		panic(fmt.Sprintf("mempool: overflow: used %d + %d > capacity %d (flow control bug)",
+			p.used, n, p.capacity))
+	}
+	p.used += n
+}
+
+func (p *Pool) release(n int) {
+	if n < 0 || n > p.used {
+		panic(fmt.Sprintf("mempool: release %d with %d used", n, p.used))
+	}
+	p.used -= n
+}
+
+// Marker is an in-order marker stored in a queue: when it reaches the
+// head, the SAQ it names may start transmitting (paper §3.8).
+type Marker struct {
+	SAQ int // identifier of the SAQ to unblock
+}
+
+// Entry is one queue element: exactly one of Packet or Marker semantics.
+// Size is the packet size in bytes (markers are zero-size control-RAM
+// entries).
+type Entry struct {
+	Size   int
+	Data   interface{} // the packet payload (opaque to this package)
+	Marker *Marker
+}
+
+// IsMarker reports whether the entry is an in-order marker.
+func (e Entry) IsMarker() bool { return e.Marker != nil }
+
+// Queue is a FIFO of packets (and markers) backed by a Pool. A Queue
+// may additionally have a private byte cap (VOQ policies divide the
+// port memory equally among queues); cap 0 means "bounded only by the
+// pool" (RECN's dynamically allocated queues).
+type Queue struct {
+	pool *Pool
+	cap  int
+
+	queued   int // bytes waiting in the queue
+	resident int // bytes occupying RAM (queued + in flight out)
+	packets  int // number of packets queued (markers excluded)
+
+	ring  []Entry
+	head  int
+	count int
+}
+
+// NewQueue returns a queue on pool with an optional private byte cap
+// (0 = share the whole pool).
+func NewQueue(pool *Pool, cap int) *Queue {
+	if pool == nil {
+		panic("mempool: NewQueue with nil pool")
+	}
+	if cap < 0 {
+		panic(fmt.Sprintf("mempool: negative queue cap %d", cap))
+	}
+	return &Queue{pool: pool, cap: cap}
+}
+
+// CanAccept reports whether a packet of n bytes fits: both in the pool
+// and under the queue's private cap.
+func (q *Queue) CanAccept(n int) bool {
+	if q.pool.Free() < n {
+		return false
+	}
+	return q.cap == 0 || q.resident+n <= q.cap
+}
+
+// Push appends a packet of n bytes carrying the given payload. The
+// caller must have verified CanAccept (flow control guarantees it); a
+// violation panics because it means credits were corrupted.
+func (q *Queue) Push(n int, data interface{}) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mempool: push size %d", n))
+	}
+	if q.cap != 0 && q.resident+n > q.cap {
+		panic(fmt.Sprintf("mempool: queue cap overflow: %d+%d > %d (flow control bug)",
+			q.resident, n, q.cap))
+	}
+	q.pool.reserve(n)
+	q.queued += n
+	q.resident += n
+	q.packets++
+	q.push(Entry{Size: n, Data: data})
+}
+
+// PushMarker appends an in-order marker naming a SAQ.
+func (q *Queue) PushMarker(saq int) {
+	q.push(Entry{Marker: &Marker{SAQ: saq}})
+}
+
+func (q *Queue) push(e Entry) {
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.count)%len(q.ring)] = e
+	q.count++
+}
+
+func (q *Queue) grow() {
+	n := len(q.ring) * 2
+	if n == 0 {
+		n = 8
+	}
+	next := make([]Entry, n)
+	for i := 0; i < q.count; i++ {
+		next[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = next
+	q.head = 0
+}
+
+// Head returns the first entry without removing it.
+func (q *Queue) Head() (Entry, bool) {
+	if q.count == 0 {
+		return Entry{}, false
+	}
+	return q.ring[q.head], true
+}
+
+// Pop removes and returns the head entry. Popping a packet moves its
+// bytes from "queued" to in-flight; they remain resident until
+// ReleaseResident is called (when the packet has fully left the RAM).
+func (q *Queue) Pop() Entry {
+	if q.count == 0 {
+		panic("mempool: Pop on empty queue")
+	}
+	e := q.ring[q.head]
+	q.ring[q.head] = Entry{}
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
+	if !e.IsMarker() {
+		q.queued -= e.Size
+		q.packets--
+	}
+	return e
+}
+
+// ReleaseResident frees n bytes of RAM once a previously popped packet
+// has completely left the port.
+func (q *Queue) ReleaseResident(n int) {
+	if n < 0 || n > q.resident {
+		panic(fmt.Sprintf("mempool: release %d resident with %d", n, q.resident))
+	}
+	q.resident -= n
+	q.pool.release(n)
+}
+
+// QueuedBytes returns the bytes waiting in the queue (threshold input).
+func (q *Queue) QueuedBytes() int { return q.queued }
+
+// ResidentBytes returns the RAM bytes attributed to this queue.
+func (q *Queue) ResidentBytes() int { return q.resident }
+
+// Packets returns the number of packets queued (markers not counted).
+func (q *Queue) Packets() int { return q.packets }
+
+// Entries returns the number of queue entries including markers.
+func (q *Queue) Entries() int { return q.count }
+
+// Empty reports whether the queue holds no packets and no markers.
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// Idle reports whether the queue is empty and all its resident bytes
+// have drained — the deallocation condition for SAQs.
+func (q *Queue) Idle() bool { return q.count == 0 && q.resident == 0 }
+
+// Cap returns the private byte cap (0 = pool-bounded).
+func (q *Queue) Cap() int { return q.cap }

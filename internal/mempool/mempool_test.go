@@ -1,0 +1,274 @@
+package mempool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAccounting(t *testing.T) {
+	p := NewPool(1000)
+	if p.Capacity() != 1000 || p.Free() != 1000 || p.Used() != 0 {
+		t.Fatalf("fresh pool: cap=%d free=%d used=%d", p.Capacity(), p.Free(), p.Used())
+	}
+	q := NewQueue(p, 0)
+	q.Push(300, "a")
+	if p.Used() != 300 || p.Free() != 700 {
+		t.Fatalf("after push: used=%d free=%d", p.Used(), p.Free())
+	}
+	e := q.Pop()
+	if e.Size != 300 || e.Data != "a" {
+		t.Fatalf("popped %+v", e)
+	}
+	// Pop keeps residency; pool still charged.
+	if p.Used() != 300 {
+		t.Fatalf("after pop: used=%d, want 300 (still resident)", p.Used())
+	}
+	q.ReleaseResident(300)
+	if p.Used() != 0 {
+		t.Fatalf("after release: used=%d", p.Used())
+	}
+}
+
+func TestPoolOverflowPanics(t *testing.T) {
+	p := NewPool(100)
+	q := NewQueue(p, 0)
+	q.Push(80, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("pool overflow did not panic")
+		}
+	}()
+	q.Push(30, nil)
+}
+
+func TestNewPoolInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestQueueCap(t *testing.T) {
+	p := NewPool(1000)
+	q := NewQueue(p, 100)
+	if !q.CanAccept(100) {
+		t.Fatal("CanAccept(100) = false with empty capped queue")
+	}
+	q.Push(100, nil)
+	if q.CanAccept(1) {
+		t.Fatal("CanAccept(1) = true on full capped queue")
+	}
+	// Another queue on the same pool is unaffected by q's cap.
+	q2 := NewQueue(p, 0)
+	if !q2.CanAccept(900) {
+		t.Fatal("pool space wrongly blocked")
+	}
+	// Pop alone does not free cap space (still resident).
+	q.Pop()
+	if q.CanAccept(1) {
+		t.Fatal("capped queue freed space before ReleaseResident")
+	}
+	q.ReleaseResident(100)
+	if !q.CanAccept(100) {
+		t.Fatal("capped queue did not free space after ReleaseResident")
+	}
+}
+
+func TestQueueCapOverflowPanics(t *testing.T) {
+	p := NewPool(1000)
+	q := NewQueue(p, 64)
+	q.Push(64, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("queue cap overflow did not panic")
+		}
+	}()
+	q.Push(1, nil)
+}
+
+func TestFIFOOrder(t *testing.T) {
+	p := NewPool(1 << 20)
+	q := NewQueue(p, 0)
+	for i := 0; i < 100; i++ {
+		q.Push(64, i)
+	}
+	for i := 0; i < 100; i++ {
+		e := q.Pop()
+		if e.Data.(int) != i {
+			t.Fatalf("pop %d returned %v", i, e.Data)
+		}
+		q.ReleaseResident(64)
+	}
+	if !q.Idle() {
+		t.Fatal("queue not idle after draining")
+	}
+}
+
+func TestMarkers(t *testing.T) {
+	p := NewPool(1000)
+	q := NewQueue(p, 0)
+	q.Push(64, "pkt1")
+	q.PushMarker(3)
+	q.Push(64, "pkt2")
+	if q.Packets() != 2 {
+		t.Fatalf("Packets() = %d, want 2 (markers excluded)", q.Packets())
+	}
+	if q.Entries() != 3 {
+		t.Fatalf("Entries() = %d, want 3", q.Entries())
+	}
+	if q.QueuedBytes() != 128 {
+		t.Fatalf("QueuedBytes() = %d, markers must be zero-size", q.QueuedBytes())
+	}
+	q.Pop()
+	e, ok := q.Head()
+	if !ok || !e.IsMarker() || e.Marker.SAQ != 3 {
+		t.Fatalf("head after pop: %+v", e)
+	}
+	m := q.Pop()
+	if !m.IsMarker() {
+		t.Fatal("marker pop failed")
+	}
+	// Popping a marker releases nothing.
+	if p.Used() != 128 {
+		t.Fatalf("pool used %d after marker pop", p.Used())
+	}
+}
+
+func TestHeadEmpty(t *testing.T) {
+	q := NewQueue(NewPool(100), 0)
+	if _, ok := q.Head(); ok {
+		t.Error("Head on empty queue returned ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty queue did not panic")
+		}
+	}()
+	q.Pop()
+}
+
+func TestRingGrowth(t *testing.T) {
+	p := NewPool(1 << 24)
+	q := NewQueue(p, 0)
+	// Interleave pushes and pops to exercise wraparound.
+	next := 0
+	popped := 0
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if rng.Intn(3) != 0 {
+			q.Push(1, next)
+			next++
+		} else if q.Packets() > 0 {
+			e := q.Pop()
+			if e.Data.(int) != popped {
+				t.Fatalf("out of order: got %v, want %d", e.Data, popped)
+			}
+			popped++
+			q.ReleaseResident(1)
+		}
+	}
+	for q.Packets() > 0 {
+		e := q.Pop()
+		if e.Data.(int) != popped {
+			t.Fatalf("drain out of order: got %v, want %d", e.Data, popped)
+		}
+		popped++
+		q.ReleaseResident(1)
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d", popped, next)
+	}
+	if !q.Idle() || p.Used() != 0 {
+		t.Fatal("leak after drain")
+	}
+}
+
+// Property: pool usage always equals the sum of resident bytes across
+// queues, and never exceeds capacity.
+func TestQuickAccountingInvariant(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		p := NewPool(4096)
+		qs := []*Queue{NewQueue(p, 0), NewQueue(p, 1024), NewQueue(p, 0)}
+		type inflight struct {
+			q *Queue
+			n int
+		}
+		var fly []inflight
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			q := qs[int(op)%len(qs)]
+			switch (op / 4) % 3 {
+			case 0: // push
+				n := rng.Intn(256) + 1
+				if q.CanAccept(n) {
+					q.Push(n, nil)
+				}
+			case 1: // pop
+				if e, ok := q.Head(); ok {
+					q.Pop()
+					if !e.IsMarker() {
+						fly = append(fly, inflight{q, e.Size})
+					}
+				}
+			case 2: // complete a transfer
+				if len(fly) > 0 {
+					i := rng.Intn(len(fly))
+					fly[i].q.ReleaseResident(fly[i].n)
+					fly[i] = fly[len(fly)-1]
+					fly = fly[:len(fly)-1]
+				}
+			}
+			sum := 0
+			for _, q := range qs {
+				sum += q.ResidentBytes()
+			}
+			if sum != p.Used() || p.Used() > p.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QueuedBytes equals the byte sum of packets in the queue.
+func TestQuickQueuedBytes(t *testing.T) {
+	f := func(sizes []uint8, popsU uint8) bool {
+		p := NewPool(1 << 20)
+		q := NewQueue(p, 0)
+		want := 0
+		var queued []int
+		for _, s := range sizes {
+			n := int(s) + 1
+			q.Push(n, nil)
+			queued = append(queued, n)
+			want += n
+		}
+		pops := int(popsU) % (len(queued) + 1)
+		for i := 0; i < pops; i++ {
+			e := q.Pop()
+			want -= e.Size
+			q.ReleaseResident(e.Size)
+		}
+		return q.QueuedBytes() == want && q.Packets() == len(queued)-pops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	p := NewPool(1 << 30)
+	q := NewQueue(p, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(64, nil)
+		e := q.Pop()
+		q.ReleaseResident(e.Size)
+	}
+}

@@ -1,0 +1,166 @@
+// Package pkt defines the data units that travel through the simulated
+// network: packets with their source routes (turnpools) and the path
+// prefixes used by RECN CAM lines.
+//
+// A route is the full sequence of output-port indices a packet takes,
+// one per switch hop (the paper's "turnpool"; we use absolute port
+// indices rather than PCI-AS relative turns — see DESIGN.md §3). A Path
+// is a (possibly shorter) sequence of turns from some port to the root
+// of a congestion tree; a packet "crosses" that root iff its remaining
+// route starts with the path.
+package pkt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Turn is the output-port index chosen at one switch hop.
+type Turn = uint8
+
+// Route is a full source route: the output port to take at each hop.
+type Route []Turn
+
+// Path is a sequence of turns from a given port toward a congestion
+// root. Paths are immutable once built; share freely.
+type Path struct {
+	turns string // string for cheap comparison and map keys
+}
+
+// PathOf builds a path from a sequence of turns.
+func PathOf(turns ...Turn) Path {
+	return Path{turns: string(turns)}
+}
+
+// PathFromRoute builds the path consisting of route[from:from+n].
+func PathFromRoute(r Route, from, n int) Path {
+	if from < 0 || n < 0 || from+n > len(r) {
+		panic(fmt.Sprintf("pkt: PathFromRoute(%v, %d, %d) out of range", r, from, n))
+	}
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b[i] = r[from+i]
+	}
+	return Path{turns: string(b)}
+}
+
+// Empty reports whether the path has no turns (the root itself).
+func (p Path) Empty() bool { return len(p.turns) == 0 }
+
+// Len returns the number of turns in the path.
+func (p Path) Len() int { return len(p.turns) }
+
+// First returns the first turn. It panics on an empty path.
+func (p Path) First() Turn {
+	if p.Empty() {
+		panic("pkt: First on empty path")
+	}
+	return p.turns[0]
+}
+
+// Rest returns the path without its first turn.
+func (p Path) Rest() Path {
+	if p.Empty() {
+		panic("pkt: Rest on empty path")
+	}
+	return Path{turns: p.turns[1:]}
+}
+
+// Prepend returns the path extended upstream with turn t (the paper's
+// "extend the path information with the turn of the current switch").
+func (p Path) Prepend(t Turn) Path {
+	return Path{turns: string([]byte{t}) + p.turns}
+}
+
+// Turn returns the i-th turn of the path.
+func (p Path) Turn(i int) Turn { return p.turns[i] }
+
+// Equal reports path equality.
+func (p Path) Equal(q Path) bool { return p.turns == q.turns }
+
+// HasPrefix reports whether q is a prefix of p (every route crossing
+// p's root first crosses q's root when true).
+func (p Path) HasPrefix(q Path) bool {
+	return len(p.turns) >= len(q.turns) && p.turns[:len(q.turns)] == q.turns
+}
+
+// Key returns a value usable as a map key (stable across calls).
+func (p Path) Key() string { return p.turns }
+
+// MatchesRoute reports whether the packet's remaining route (r[hop:])
+// begins with this path, i.e. whether the packet will cross the point
+// this path leads to.
+func (p Path) MatchesRoute(r Route, hop int) bool {
+	if hop < 0 || hop > len(r) {
+		return false
+	}
+	rem := r[hop:]
+	if len(p.turns) > len(rem) {
+		return false
+	}
+	for i := 0; i < len(p.turns); i++ {
+		if rem[i] != p.turns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Path) String() string {
+	if p.Empty() {
+		return "<root>"
+	}
+	var sb strings.Builder
+	for i := 0; i < len(p.turns); i++ {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		fmt.Fprintf(&sb, "%d", p.turns[i])
+	}
+	return sb.String()
+}
+
+// Packet is a single network packet. Packets are allocated once at
+// injection and travel by pointer; fields other than Hop are immutable
+// after injection.
+type Packet struct {
+	ID   uint64
+	Src  int // source host
+	Dst  int // destination host
+	Size int // bytes, including header
+	// Class is the traffic class (selects the queue for uncongested
+	// flows when the fabric is configured with several).
+	Class uint8
+
+	// Route is the source route; Hop indexes the next turn to take
+	// (incremented when the packet is forwarded through a crossbar).
+	Route Route
+	Hop   int
+
+	// Seq is the per-(src,dst) sequence number, used to verify
+	// in-order delivery.
+	Seq uint64
+
+	// CreatedAt is when the message was generated at the source;
+	// InjectedAt when the packet first entered the fabric.
+	CreatedAt  sim.Time
+	InjectedAt sim.Time
+}
+
+// NextTurn returns the output port the packet must take at the current
+// switch. It panics if the route is exhausted (a routing bug).
+func (p *Packet) NextTurn() Turn {
+	if p.Hop >= len(p.Route) {
+		panic(fmt.Sprintf("pkt: packet %d (dst %d) route exhausted at hop %d", p.ID, p.Dst, p.Hop))
+	}
+	return p.Route[p.Hop]
+}
+
+// HopsLeft returns the number of switch hops remaining.
+func (p *Packet) HopsLeft() int { return len(p.Route) - p.Hop }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%d %d→%d %dB hop %d/%d}", p.ID, p.Src, p.Dst, p.Size, p.Hop, len(p.Route))
+}

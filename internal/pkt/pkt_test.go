@@ -1,0 +1,214 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := PathOf(3, 1, 4)
+	if p.Empty() {
+		t.Fatal("PathOf(3,1,4).Empty() = true")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", p.Len())
+	}
+	if p.First() != 3 {
+		t.Fatalf("First() = %d, want 3", p.First())
+	}
+	if !p.Rest().Equal(PathOf(1, 4)) {
+		t.Fatalf("Rest() = %v", p.Rest())
+	}
+	if got := p.String(); got != "3.1.4" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := PathOf().String(); got != "<root>" {
+		t.Fatalf("empty String() = %q", got)
+	}
+	if p.Turn(1) != 1 {
+		t.Fatalf("Turn(1) = %d", p.Turn(1))
+	}
+}
+
+func TestPathPrepend(t *testing.T) {
+	p := PathOf(1, 4)
+	q := p.Prepend(7)
+	if !q.Equal(PathOf(7, 1, 4)) {
+		t.Fatalf("Prepend = %v", q)
+	}
+	// Original unchanged (immutability).
+	if !p.Equal(PathOf(1, 4)) {
+		t.Fatalf("Prepend mutated receiver: %v", p)
+	}
+}
+
+func TestPathFromRoute(t *testing.T) {
+	r := Route{5, 6, 7, 0, 1}
+	p := PathFromRoute(r, 1, 3)
+	if !p.Equal(PathOf(6, 7, 0)) {
+		t.Fatalf("PathFromRoute = %v", p)
+	}
+	// Mutating the route must not change the path.
+	r[2] = 9
+	if !p.Equal(PathOf(6, 7, 0)) {
+		t.Fatalf("path aliases route storage: %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range PathFromRoute did not panic")
+		}
+	}()
+	PathFromRoute(r, 4, 3)
+}
+
+func TestEmptyPathPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"First": func() { PathOf().First() },
+		"Rest":  func() { PathOf().Rest() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty path did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatchesRoute(t *testing.T) {
+	r := Route{4, 2, 6, 1}
+	cases := []struct {
+		path Path
+		hop  int
+		want bool
+	}{
+		{PathOf(4, 2), 0, true},
+		{PathOf(4, 3), 0, false},
+		{PathOf(2, 6), 1, true},
+		{PathOf(2, 6, 1), 1, true},
+		{PathOf(2, 6, 1, 5), 1, false}, // longer than remaining route
+		{PathOf(), 0, true},            // empty path matches everything
+		{PathOf(), 4, true},
+		{PathOf(1), 3, true},
+		{PathOf(1), 4, false},
+		{PathOf(4), -1, false},
+		{PathOf(4), 5, false},
+	}
+	for i, c := range cases {
+		if got := c.path.MatchesRoute(r, c.hop); got != c.want {
+			t.Errorf("case %d: %v.MatchesRoute(%v, %d) = %v, want %v", i, c.path, r, c.hop, got, c.want)
+		}
+	}
+}
+
+// Property: a path built from any slice of a route matches that route at
+// that hop, and prepending the preceding turn matches one hop earlier.
+func TestQuickPathRouteConsistency(t *testing.T) {
+	f := func(raw []byte, fromU, nU uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := make(Route, len(raw))
+		for i, b := range raw {
+			r[i] = b % 8
+		}
+		from := int(fromU) % len(r)
+		n := int(nU) % (len(r) - from + 1)
+		p := PathFromRoute(r, from, n)
+		if !p.MatchesRoute(r, from) {
+			return false
+		}
+		if from > 0 {
+			q := p.Prepend(r[from-1])
+			if !q.MatchesRoute(r, from-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	cases := []struct {
+		p, q Path
+		want bool
+	}{
+		{PathOf(4, 2, 1), PathOf(4), true},
+		{PathOf(4, 2, 1), PathOf(4, 2), true},
+		{PathOf(4, 2, 1), PathOf(4, 2, 1), true}, // a path prefixes itself
+		{PathOf(4, 2, 1), PathOf(2), false},
+		{PathOf(4), PathOf(4, 2), false}, // longer is not a prefix
+		{PathOf(4), PathOf(), true},      // empty prefixes everything
+		{PathOf(), PathOf(), true},
+	}
+	for i, c := range cases {
+		if got := c.p.HasPrefix(c.q); got != c.want {
+			t.Errorf("case %d: %v.HasPrefix(%v) = %v, want %v", i, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// Property: HasPrefix agrees with MatchesRoute — if q is a prefix of p,
+// any route matching p also matches q.
+func TestQuickHasPrefixConsistency(t *testing.T) {
+	f := func(a []byte, cut uint8) bool {
+		if len(a) == 0 {
+			return true
+		}
+		p := PathOf(a...)
+		q := PathOf(a[:int(cut)%(len(a)+1)]...)
+		if !p.HasPrefix(q) {
+			return false
+		}
+		route := make(Route, len(a))
+		copy(route, a)
+		return q.MatchesRoute(route, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is injective w.r.t. Equal.
+func TestQuickPathKey(t *testing.T) {
+	f := func(a, b []byte) bool {
+		p, q := PathOf(a...), PathOf(b...)
+		return (p.Key() == q.Key()) == p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketNextTurn(t *testing.T) {
+	p := &Packet{ID: 1, Dst: 5, Route: Route{3, 1}, Hop: 0, Size: 64}
+	if p.NextTurn() != 3 {
+		t.Fatalf("NextTurn = %d", p.NextTurn())
+	}
+	p.Hop++
+	if p.NextTurn() != 1 {
+		t.Fatalf("NextTurn = %d", p.NextTurn())
+	}
+	if p.HopsLeft() != 1 {
+		t.Fatalf("HopsLeft = %d", p.HopsLeft())
+	}
+	p.Hop++
+	defer func() {
+		if recover() == nil {
+			t.Error("NextTurn past end did not panic")
+		}
+	}()
+	p.NextTurn()
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 7, Src: 1, Dst: 2, Size: 64, Route: Route{0}, Hop: 0}
+	if got := p.String(); got != "pkt{7 1→2 64B hop 0/1}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,423 @@
+package recn
+
+import (
+	"fmt"
+
+	"repro/internal/cam"
+	"repro/internal/mempool"
+	"repro/internal/pkt"
+)
+
+// EgressEffects is implemented by the fabric to carry an egress
+// controller's outputs to the rest of the system.
+type EgressEffects interface {
+	// NotifyIngress delivers an internal congestion notification (with
+	// a token) to input port `ingress` of the same switch. It returns
+	// whether the token was accepted (a SAQ was allocated there); on
+	// refusal the token comes back immediately (paper §3.8).
+	NotifyIngress(ingress int, path pkt.Path) bool
+	// SendTokenDownstream sends a token over this port's link to the
+	// downstream ingress port (deallocation, or refusal when refused
+	// is set — paper §3.5, §3.8).
+	SendTokenDownstream(path pkt.Path, refused bool)
+}
+
+// Egress is the RECN controller of an output port (or NIC injection
+// port). See the package comment for the role split.
+type Egress struct {
+	cfg  Config
+	port int // this output port's index within its switch
+	// terminal: a NIC injection port — congestion is never propagated
+	// further (the "upstream" is the traffic source itself).
+	terminal bool
+
+	cam  *cam.Table
+	pool *mempool.Pool
+	// normals are the queues for uncongested flows — one per traffic
+	// class (paper footnote 1: "Several queues can be used for
+	// non-congested flows, thus providing support for multiple traffic
+	// classes").
+	normals []*mempool.Queue
+	saqs    map[int]*SAQ // by CAM line ID
+	byUID   map[int]*SAQ
+	uidSeq  int
+
+	// Root state: this port's normal queue is the root of a
+	// congestion tree. rootNotified dedups recruiting per input port;
+	// rootBranch tracks which inputs actually hold a token (refusals
+	// set the first but not the second). Tracking identities rather
+	// than a counter keeps tokens from different episodes from
+	// corrupting the accounting.
+	root         bool
+	rootNotified map[int]bool
+	rootBranch   map[int]bool
+
+	fx    EgressEffects
+	stats Stats
+}
+
+// NewEgress builds the controller for one output port.
+//
+// port is the output port index within the switch (prepended to paths
+// when notifying local ingress ports). pool and normal are the port's
+// data RAM and its queue for uncongested flows. terminal marks NIC
+// injection ports.
+func NewEgress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, terminal bool, fx EgressEffects) *Egress {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if fx == nil {
+		panic("recn: NewEgress with nil effects")
+	}
+	if len(normals) == 0 {
+		panic("recn: NewEgress without normal queues")
+	}
+	return &Egress{
+		cfg:          cfg,
+		port:         port,
+		terminal:     terminal,
+		cam:          cam.New(cfg.MaxSAQs),
+		pool:         pool,
+		normals:      normals,
+		saqs:         make(map[int]*SAQ),
+		byUID:        make(map[int]*SAQ),
+		rootNotified: make(map[int]bool),
+		rootBranch:   make(map[int]bool),
+		fx:           fx,
+	}
+}
+
+// Classify returns the SAQ an arriving packet (already forwarded
+// through the crossbar, so route[hop:] starts at the next switch) must
+// be stored in, or nil for the normal queue (paper §3.6).
+func (e *Egress) Classify(route pkt.Route, hop int) *SAQ {
+	if e.cam.Used() == 0 {
+		return nil
+	}
+	if id, ok := e.cam.Match(route, hop); ok {
+		return e.saqs[id]
+	}
+	return nil
+}
+
+// GatedInternally reports whether packets matching this classification
+// must be held at the ingress side (internal Xoff, paper §3.7): the
+// target SAQ's occupancy crossed the stop threshold.
+func (e *Egress) GatedInternally(route pkt.Route, hop int) bool {
+	s := e.Classify(route, hop)
+	return s != nil && s.gateInternal
+}
+
+// OnStored is called by the fabric after a packet of the given size
+// from local input port `ingress` has been pushed into queue s (nil =
+// normal queue). It runs congestion detection and notification
+// propagation.
+func (e *Egress) OnStored(s *SAQ, ingress int, size int) {
+	if s == nil {
+		e.detectRoot(ingress)
+		return
+	}
+	s.used = true
+	// Internal stop toward the switch's ingress ports.
+	if !s.gateInternal && s.Q.QueuedBytes() >= e.cfg.XoffBytes {
+		s.gateInternal = true
+	}
+	// Propagate the tree to the input ports feeding this SAQ.
+	if s.Q.QueuedBytes() >= e.cfg.PropagateBytes {
+		e.notifyIngress(s, ingress)
+	}
+}
+
+// detectRoot handles congestion detection on the normal queue
+// (paper §3.3): the port becomes the root of a congestion tree and
+// notifies each input port the first time it sends a packet here while
+// congested.
+func (e *Egress) detectRoot(ingress int) {
+	if e.terminal {
+		return // injection ports cannot be roots
+	}
+	occ := e.normalBytes()
+	if !e.root {
+		if occ < e.cfg.DetectBytes {
+			return
+		}
+		e.root = true
+	}
+	// A lingering root (queue drained, waiting for branch tokens to
+	// come home) must not recruit new senders: handing out fresh
+	// tokens while old ones are still in flight keeps branches > 0
+	// forever and the tree never collapses.
+	if occ < e.cfg.DetectBytes {
+		return
+	}
+	if ingress < 0 || e.rootNotified[ingress] {
+		return
+	}
+	e.rootNotified[ingress] = true
+	e.stats.NotifySent++
+	if e.fx.NotifyIngress(ingress, pkt.PathOf(pkt.Turn(e.port))) {
+		e.rootBranch[ingress] = true
+	} else {
+		e.stats.Refusals++
+	}
+}
+
+// notifyIngress extends the congestion tree from SAQ s to local input
+// port `ingress` (paper §3.4: the path is extended with the turn of the
+// current switch).
+func (e *Egress) notifyIngress(s *SAQ, ingress int) {
+	if e.terminal || ingress < 0 || s.notified[ingress] {
+		return
+	}
+	s.notified[ingress] = true
+	e.stats.NotifySent++
+	if e.fx.NotifyIngress(ingress, s.Path.Prepend(pkt.Turn(e.port))) {
+		s.branchOut[ingress] = true
+		s.leaf = false
+	} else {
+		e.stats.Refusals++
+	}
+}
+
+// OnUpstreamNotification handles a MsgNotify arriving over the link
+// from the downstream ingress port: allocate a SAQ (and CAM line) for
+// the path, placing an in-order marker in the normal queue. On refusal
+// the token immediately returns downstream (paper §3.4, §3.8).
+func (e *Egress) OnUpstreamNotification(path pkt.Path) {
+	if _, ok := e.cam.Lookup(path); ok {
+		// Duplicate (can only happen through message races); refuse.
+		e.stats.Refusals++
+		e.sendToken(path, true)
+		return
+	}
+	id, ok := e.cam.Allocate(path)
+	if !ok {
+		e.stats.Refusals++
+		e.sendToken(path, true)
+		return
+	}
+	e.uidSeq++
+	s := &SAQ{
+		ID:        id,
+		UID:       e.uidSeq,
+		Path:      path,
+		Q:         mempool.NewQueue(e.pool, 0),
+		leaf:      true,
+		notified:  make(map[int]bool),
+		branchOut: make(map[int]bool),
+	}
+	e.saqs[id] = s
+	e.byUID[s.UID] = s
+	if !e.cfg.NoInOrderMarkers {
+		// In-order markers: the normal queue, plus every SAQ with a
+		// proper prefix path (its packets may match the longer path).
+		for _, q := range e.normals {
+			q.PushMarker(s.UID)
+			s.markersPending++
+		}
+		for _, t := range e.saqs {
+			if t != s && path.HasPrefix(t.Path) {
+				t.Q.PushMarker(s.UID)
+				s.markersPending++
+			}
+		}
+	}
+	e.stats.Allocs++
+	e.stats.MarkersPlaced += uint64(s.markersPending)
+}
+
+// ResolveMarker is called by the fabric when an in-order marker reaches
+// the head of a queue: once all its markers resolved, the named SAQ may
+// start transmitting. Stale markers (whose SAQ is gone) are inert.
+// Queues that only held markers may now be idle, so deallocation is
+// re-checked everywhere.
+func (e *Egress) ResolveMarker(uid int) {
+	if s, ok := e.byUID[uid]; ok && s.markersPending > 0 {
+		s.markersPending--
+	}
+	for _, t := range e.saqs {
+		e.maybeDealloc(t)
+	}
+}
+
+// OnTokenFromIngress is called (synchronously, same switch) when local
+// input port `ingress` deallocates the SAQ for path e.port+rest: the
+// branch token returns. rest is the path seen from this egress port
+// (empty = this port's root).
+func (e *Egress) OnTokenFromIngress(ingress int, rest pkt.Path) {
+	if rest.Empty() {
+		// Clearing the recruit flag lets the input be re-notified if
+		// congestion persists; only tokens this root actually handed
+		// out count toward collapse.
+		delete(e.rootNotified, ingress)
+		if !e.root || !e.rootBranch[ingress] {
+			e.stats.StaleMsgs++
+			return
+		}
+		delete(e.rootBranch, ingress)
+		e.maybeClearRoot()
+		return
+	}
+	id, ok := e.cam.Lookup(rest)
+	if !ok {
+		e.stats.StaleMsgs++
+		return
+	}
+	s := e.saqs[id]
+	delete(s.notified, ingress)
+	if !s.branchOut[ingress] {
+		e.stats.StaleMsgs++
+		return
+	}
+	delete(s.branchOut, ingress)
+	if len(s.branchOut) == 0 {
+		s.leaf = true
+	}
+	e.maybeDealloc(s)
+}
+
+// OnXoffFromDownstream / OnXonFromDownstream handle per-SAQ flow
+// control from the downstream ingress SAQ (paper §3.7).
+func (e *Egress) OnXoffFromDownstream(path pkt.Path) {
+	if id, ok := e.cam.Lookup(path); ok {
+		e.saqs[id].xoffRemote = true
+	} else {
+		e.stats.StaleMsgs++
+	}
+}
+
+// OnXonFromDownstream resumes the SAQ stopped by OnXoffFromDownstream.
+func (e *Egress) OnXonFromDownstream(path pkt.Path) {
+	if id, ok := e.cam.Lookup(path); ok {
+		e.saqs[id].xoffRemote = false
+	} else {
+		e.stats.StaleMsgs++
+	}
+}
+
+// EligibleTx reports whether the link arbiter may serve this SAQ.
+func (e *Egress) EligibleTx(s *SAQ) bool {
+	return !s.Blocked() && !s.xoffRemote
+}
+
+// Boosted reports whether the SAQ gets highest arbitration priority: it
+// owns a token and holds only a few packets, so draining it lets the
+// tree collapse (paper §3.8).
+func (e *Egress) Boosted(s *SAQ) bool {
+	return s.leaf && len(s.branchOut) == 0 && s.Q.Packets() <= e.cfg.BoostPackets && s.Q.Packets() > 0
+}
+
+// OnDrained is called by the fabric after a packet previously stored in
+// SAQ s (nil = normal queue) has fully left the port and its RAM was
+// released.
+func (e *Egress) OnDrained(s *SAQ) {
+	if s == nil {
+		e.maybeClearRoot()
+		return
+	}
+	if s.gateInternal && s.Q.QueuedBytes() <= e.cfg.XonBytes {
+		s.gateInternal = false
+	}
+	e.maybeDealloc(s)
+}
+
+func (e *Egress) maybeClearRoot() {
+	if e.root && len(e.rootBranch) == 0 && e.normalBytes() < e.cfg.DetectBytes {
+		e.root = false
+		e.rootNotified = make(map[int]bool)
+	}
+}
+
+// maybeDealloc releases SAQ s once it is an idle leaf with no
+// outstanding branches, sending the token downstream (paper §3.5). The
+// SAQ must have been used: a freshly allocated SAQ whose packets are
+// still in flight toward it must not bounce (alloc/dealloc thrash).
+func (e *Egress) maybeDealloc(s *SAQ) {
+	if !s.used || !s.leaf || len(s.branchOut) != 0 || !s.Q.Idle() {
+		return
+	}
+	e.dealloc(s)
+}
+
+// SweepIdle deallocates idle leaf SAQs regardless of use. The fabric
+// calls it periodically so SAQs allocated for congestion that subsided
+// before any packet arrived still return their tokens and let the tree
+// collapse.
+func (e *Egress) SweepIdle() {
+	for _, s := range e.saqs {
+		if s.leaf && len(s.branchOut) == 0 && s.Q.Idle() {
+			e.dealloc(s)
+		}
+	}
+}
+
+func (e *Egress) dealloc(s *SAQ) {
+	e.cam.Free(s.ID)
+	delete(e.saqs, s.ID)
+	delete(e.byUID, s.UID)
+	e.stats.Deallocs++
+	e.sendToken(s.Path, false)
+}
+
+// sendToken returns a token downstream. NIC injection ports send it
+// too: their downstream is the first switch's ingress, whose SAQ is
+// waiting to become a leaf again.
+func (e *Egress) sendToken(path pkt.Path, refused bool) {
+	e.stats.TokensSent++
+	e.fx.SendTokenDownstream(path, refused)
+}
+
+// OnDenied is called by the crossbar arbiter when a packet from local
+// input `ingress` could not be forwarded into this port because its
+// target queue is congested (a root's full queue, or an internally
+// Xoff-gated SAQ). The paper notifies inputs "the first time they send
+// a packet to the congested output port"; a sender blocked by that very
+// congestion must be notified too, or it would suffer permanent HOL
+// blocking without ever joining the tree.
+func (e *Egress) OnDenied(route pkt.Route, hop int, ingress int) {
+	if e.terminal || ingress < 0 {
+		return
+	}
+	if s := e.Classify(route, hop); s != nil {
+		if s.Q.QueuedBytes() >= e.cfg.PropagateBytes {
+			e.notifyIngress(s, ingress)
+		}
+		return
+	}
+	e.detectRoot(ingress)
+}
+
+// normalBytes sums the occupancy of the queues for uncongested flows
+// (congestion detection looks at the port's aggregate backlog).
+func (e *Egress) normalBytes() int {
+	sum := 0
+	for _, q := range e.normals {
+		sum += q.QueuedBytes()
+	}
+	return sum
+}
+
+// Root reports whether this port is currently a congestion-tree root.
+func (e *Egress) Root() bool { return e.root }
+
+// ActiveSAQs returns the number of SAQs currently allocated.
+func (e *Egress) ActiveSAQs() int { return len(e.saqs) }
+
+// SAQByID returns a SAQ by CAM line ID.
+func (e *Egress) SAQByID(id int) *SAQ { return e.saqs[id] }
+
+// ForEachSAQ iterates over allocated SAQs in CAM line order.
+func (e *Egress) ForEachSAQ(fn func(s *SAQ)) {
+	for id := 0; id < e.cfg.MaxSAQs; id++ {
+		if s, ok := e.saqs[id]; ok {
+			fn(s)
+		}
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (e *Egress) Stats() Stats { return e.stats }
+
+func (e *Egress) String() string {
+	return fmt.Sprintf("egress{port %d, %d SAQs, root=%v}", e.port, len(e.saqs), e.root)
+}

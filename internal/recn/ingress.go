@@ -1,0 +1,279 @@
+package recn
+
+import (
+	"fmt"
+
+	"repro/internal/cam"
+	"repro/internal/mempool"
+	"repro/internal/pkt"
+)
+
+// IngressEffects is implemented by the fabric to carry an ingress
+// controller's outputs to the rest of the system.
+type IngressEffects interface {
+	// SendUpstream transmits a control message (notification, Xon or
+	// Xoff) over the reverse link to the upstream egress port.
+	SendUpstream(msg CtlMsg)
+	// TokenToEgress delivers a branch token (synchronously, same
+	// switch) to output port `egress`; rest is the path as seen from
+	// that port (empty = it is the root).
+	TokenToEgress(egress int, rest pkt.Path)
+}
+
+// Ingress is the RECN controller of a switch input port.
+type Ingress struct {
+	cfg  Config
+	port int // this input port's index within its switch
+
+	cam     *cam.Table
+	pool    *mempool.Pool
+	normals []*mempool.Queue // queues for uncongested flows (per class)
+	saqs    map[int]*SAQ
+	byUID   map[int]*SAQ
+	uidSeq  int
+
+	fx    IngressEffects
+	stats Stats
+}
+
+// NewIngress builds the controller for one input port.
+func NewIngress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, fx IngressEffects) *Ingress {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if fx == nil {
+		panic("recn: NewIngress with nil effects")
+	}
+	if len(normals) == 0 {
+		panic("recn: NewIngress without normal queues")
+	}
+	return &Ingress{
+		cfg:     cfg,
+		port:    port,
+		cam:     cam.New(cfg.MaxSAQs),
+		pool:    pool,
+		normals: normals,
+		saqs:    make(map[int]*SAQ),
+		byUID:   make(map[int]*SAQ),
+		fx:      fx,
+	}
+}
+
+// Classify returns the SAQ an arriving packet must be stored in, or
+// nil for the normal queue. route[hop:] begins with the turn at this
+// switch (paper §3.6).
+func (in *Ingress) Classify(route pkt.Route, hop int) *SAQ {
+	if in.cam.Used() == 0 {
+		return nil
+	}
+	if id, ok := in.cam.Match(route, hop); ok {
+		return in.saqs[id]
+	}
+	return nil
+}
+
+// OnNotifyLocal handles an internal congestion notification from one of
+// this switch's output ports. It returns whether the token was accepted
+// (a SAQ was allocated); false lets the egress keep its branch count
+// consistent (paper §3.8: "the token is returned to the notification
+// sender").
+func (in *Ingress) OnNotifyLocal(path pkt.Path) bool {
+	if path.Empty() {
+		panic("recn: internal notification with empty path")
+	}
+	if _, ok := in.cam.Lookup(path); ok {
+		in.stats.Refusals++
+		return false
+	}
+	id, ok := in.cam.Allocate(path)
+	if !ok {
+		in.stats.Refusals++
+		return false
+	}
+	in.uidSeq++
+	s := &SAQ{
+		ID:    id,
+		UID:   in.uidSeq,
+		Path:  path,
+		Q:     mempool.NewQueue(in.pool, 0),
+		leaf:  true,
+		reArm: true,
+	}
+	in.saqs[id] = s
+	in.byUID[s.UID] = s
+	if !in.cfg.NoInOrderMarkers {
+		// In-order markers: the normal queue, plus every SAQ with a
+		// proper prefix path (its packets may match the longer path).
+		for _, q := range in.normals {
+			q.PushMarker(s.UID)
+			s.markersPending++
+		}
+		for _, t := range in.saqs {
+			if t != s && path.HasPrefix(t.Path) {
+				t.Q.PushMarker(s.UID)
+				s.markersPending++
+			}
+		}
+	}
+	in.stats.Allocs++
+	in.stats.MarkersPlaced += uint64(s.markersPending)
+	return true
+}
+
+// OnStored is called by the fabric after a packet of the given size has
+// been pushed into queue s (nil = normal queue: nothing to do — roots
+// are detected at output ports).
+func (in *Ingress) OnStored(s *SAQ, size int) {
+	if s == nil {
+		return
+	}
+	s.used = true
+	in.checkPressure(s)
+}
+
+// checkPressure propagates the congestion tree upstream when the SAQ
+// crosses the notification threshold (paper §3.4; the path is reused
+// verbatim — the upstream egress port sees the same path to the root),
+// and sends the per-SAQ Xoff once a notification is out (paper §3.7).
+func (in *Ingress) checkPressure(s *SAQ) {
+	occ := s.Q.QueuedBytes()
+	if occ >= in.cfg.PropagateBytes && !s.sentUpstream && s.reArm && s.leaf {
+		s.sentUpstream = true
+		s.leaf = false
+		s.reArm = false
+		in.stats.NotifySent++
+		in.fx.SendUpstream(CtlMsg{Kind: MsgNotify, Path: s.Path})
+	}
+	if !s.xoffSent && s.sentUpstream && occ >= in.cfg.XoffBytes {
+		s.xoffSent = true
+		in.stats.XoffSent++
+		in.fx.SendUpstream(CtlMsg{Kind: MsgXoff, Path: s.Path})
+	}
+}
+
+// OnTokenFromUpstream handles a MsgToken arriving over the link: the
+// subtree above this SAQ collapsed (or, with refused set, the
+// notification bounced off a full CAM); the SAQ owns the token again
+// and may deallocate once idle. After a deallocation token the SAQ
+// re-notifies immediately if it is still over the threshold — the
+// upstream SAQ drained and went away, but the flow feeding us has not
+// stopped. After a refusal it backs off until it drains below the
+// threshold once, avoiding notify/refuse storms.
+func (in *Ingress) OnTokenFromUpstream(path pkt.Path, refused bool) {
+	id, ok := in.cam.Lookup(path)
+	if !ok {
+		in.stats.StaleMsgs++
+		return
+	}
+	s := in.saqs[id]
+	if !s.sentUpstream {
+		in.stats.StaleMsgs++
+		return
+	}
+	s.sentUpstream = false
+	s.leaf = true
+	s.reArm = !refused
+	if s.xoffSent {
+		// The upstream SAQ is gone; clear our stop state.
+		s.xoffSent = false
+	}
+	in.checkPressure(s)
+	in.maybeDealloc(s)
+}
+
+// ResolveMarker is called when an in-order marker reaches the head of a
+// queue. Stale markers are inert. Queues that only held markers may now
+// be idle, so deallocation is re-checked everywhere.
+func (in *Ingress) ResolveMarker(uid int) {
+	if s, ok := in.byUID[uid]; ok && s.markersPending > 0 {
+		s.markersPending--
+	}
+	for _, t := range in.saqs {
+		in.maybeDealloc(t)
+	}
+}
+
+// EligibleTx reports whether the crossbar arbiter may serve this SAQ.
+// (Internal Xoff is checked against the *target egress* by the fabric.)
+func (in *Ingress) EligibleTx(s *SAQ) bool { return !s.Blocked() }
+
+// Boosted reports whether the SAQ gets highest arbitration priority
+// (paper §3.8).
+func (in *Ingress) Boosted(s *SAQ) bool {
+	return s.leaf && s.Q.Packets() <= in.cfg.BoostPackets && s.Q.Packets() > 0
+}
+
+// OnDrained is called after a packet from SAQ s (nil = normal queue)
+// has fully left the port and its RAM was released.
+func (in *Ingress) OnDrained(s *SAQ) {
+	if s == nil {
+		return
+	}
+	occ := s.Q.QueuedBytes()
+	if s.xoffSent && occ <= in.cfg.XonBytes {
+		s.xoffSent = false
+		in.stats.XonSent++
+		in.fx.SendUpstream(CtlMsg{Kind: MsgXon, Path: s.Path})
+	}
+	if !s.reArm && occ < in.cfg.PropagateBytes {
+		s.reArm = true
+	}
+	in.maybeDealloc(s)
+}
+
+// maybeDealloc releases SAQ s once it is an idle leaf, handing the
+// token to the local output port on its path (paper §3.5: "notifying
+// the corresponding output port, which is identified thanks to the path
+// information available in the CAM line").
+// The SAQ must have been used: a freshly allocated SAQ whose packets
+// are still in flight toward it must not bounce (alloc/dealloc thrash).
+func (in *Ingress) maybeDealloc(s *SAQ) {
+	if !s.used || !s.leaf || s.sentUpstream || !s.Q.Idle() {
+		return
+	}
+	in.dealloc(s)
+}
+
+// SweepIdle deallocates idle leaf SAQs regardless of use (see
+// Egress.SweepIdle).
+func (in *Ingress) SweepIdle() {
+	for _, s := range in.saqs {
+		if s.leaf && !s.sentUpstream && s.Q.Idle() {
+			in.dealloc(s)
+		}
+	}
+}
+
+func (in *Ingress) dealloc(s *SAQ) {
+	in.cam.Free(s.ID)
+	delete(in.saqs, s.ID)
+	delete(in.byUID, s.UID)
+	in.stats.Deallocs++
+	in.stats.TokensSent++
+	in.fx.TokenToEgress(int(s.Path.First()), s.Path.Rest())
+}
+
+// Port returns this input port's index within its switch.
+func (in *Ingress) Port() int { return in.port }
+
+// ActiveSAQs returns the number of SAQs currently allocated.
+func (in *Ingress) ActiveSAQs() int { return len(in.saqs) }
+
+// SAQByID returns a SAQ by CAM line ID.
+func (in *Ingress) SAQByID(id int) *SAQ { return in.saqs[id] }
+
+// ForEachSAQ iterates over allocated SAQs in CAM line order.
+func (in *Ingress) ForEachSAQ(fn func(s *SAQ)) {
+	for id := 0; id < in.cfg.MaxSAQs; id++ {
+		if s, ok := in.saqs[id]; ok {
+			fn(s)
+		}
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (in *Ingress) Stats() Stats { return in.stats }
+
+func (in *Ingress) String() string {
+	return fmt.Sprintf("ingress{port %d, %d SAQs}", in.port, len(in.saqs))
+}

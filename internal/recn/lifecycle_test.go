@@ -1,0 +1,327 @@
+package recn
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// OnDenied must recruit a blocked sender into the tree: without it, an
+// input whose packets are refused admission by the congested target
+// would never be notified and would suffer permanent HOL blocking.
+func TestOnDeniedRecruitsBlockedSender(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 1}
+	in, _ := newTestIngress(cfg, 1, infx)
+	efx := &egressFx{ingress: map[int]*Ingress{1: in}}
+	eg, normal := newTestEgress(cfg, 6, efx)
+	infx.egress = map[int]*Egress{6: eg}
+
+	// Make the port a root via stores from input 0 (which gets its
+	// notification refused — not wired).
+	for i := 0; i < 2; i++ {
+		storeEgressNormal(eg, normal, 0, 128)
+	}
+	if !eg.Root() {
+		t.Fatal("root not detected")
+	}
+	// Input 1 never stored a packet (it is blocked); a denial must
+	// still recruit it.
+	eg.OnDenied(pkt.Route{6, 2}, 1, 1)
+	if in.ActiveSAQs() != 1 {
+		t.Fatal("denied sender not recruited into the tree")
+	}
+	// Denials are deduplicated by the same flags as stores.
+	eg.OnDenied(pkt.Route{6, 2}, 1, 1)
+	if eg.Stats().NotifySent != 2 { // one for input 0, one for input 1
+		t.Fatalf("notify count %d", eg.Stats().NotifySent)
+	}
+}
+
+// OnDenied against a congested SAQ extends that SAQ's subtree.
+func TestOnDeniedRecruitsIntoSAQ(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 2}
+	in, _ := newTestIngress(cfg, 2, infx)
+	efx := &egressFx{ingress: map[int]*Ingress{2: in}}
+	eg, _ := newTestEgress(cfg, 6, efx)
+	infx.egress = map[int]*Egress{6: eg}
+
+	eg.OnUpstreamNotification(pkt.PathOf(3))
+	s := eg.SAQByID(0)
+	// Below the propagation threshold a denial does not recruit.
+	storeEgressSAQ(eg, s, -1, 64)
+	eg.OnDenied(pkt.Route{6, 3, 1}, 1, 2)
+	if in.ActiveSAQs() != 0 {
+		t.Fatal("recruited below threshold")
+	}
+	// Above it, it does — with the extended path.
+	storeEgressSAQ(eg, s, -1, 128)
+	eg.OnDenied(pkt.Route{6, 3, 1}, 1, 2)
+	if in.ActiveSAQs() != 1 {
+		t.Fatal("denied sender not recruited into the SAQ subtree")
+	}
+	if got := in.SAQByID(0).Path; !got.Equal(pkt.PathOf(6, 3)) {
+		t.Fatalf("recruited path %v, want 6.3", got)
+	}
+	// Terminal ports and anonymous senders never recruit.
+	eg.OnDenied(pkt.Route{6, 3, 1}, 1, -1)
+	if in.Stats().Allocs != 1 {
+		t.Fatal("anonymous denial recruited")
+	}
+}
+
+// A lingering root (queue drained, tokens still out) must not recruit.
+func TestLingeringRootStopsRecruiting(t *testing.T) {
+	cfg := testConfig()
+	in0fx := &ingressFx{port: 0}
+	in0, _ := newTestIngress(cfg, 0, in0fx)
+	in1fx := &ingressFx{port: 1}
+	in1, _ := newTestIngress(cfg, 1, in1fx)
+	efx := &egressFx{ingress: map[int]*Ingress{0: in0, 1: in1}}
+	eg, normal := newTestEgress(cfg, 5, efx)
+	in0fx.egress = map[int]*Egress{5: eg}
+	in1fx.egress = map[int]*Egress{5: eg}
+
+	// Root forms; input 0 recruited.
+	for i := 0; i < 2; i++ {
+		storeEgressNormal(eg, normal, 0, 128)
+	}
+	if in0.ActiveSAQs() != 1 {
+		t.Fatal("input 0 not recruited")
+	}
+	// Queue drains below the detect threshold, but input 0's token is
+	// still out: the port stays a root and must NOT hand a token to
+	// input 1.
+	drainOne(normal)
+	drainOne(normal)
+	eg.OnDrained(nil)
+	if !eg.Root() {
+		t.Fatal("root cleared with a branch outstanding")
+	}
+	storeEgressNormal(eg, normal, 1, 64)
+	if in1.ActiveSAQs() != 0 {
+		t.Fatal("lingering root recruited a new sender")
+	}
+	// Token comes home (never-used SAQ collected by the sweep) and the
+	// root clears.
+	in0.SweepIdle()
+	if eg.Root() {
+		t.Fatal("root did not clear after the last token returned")
+	}
+}
+
+// A token from a previous episode must not corrupt the current root's
+// branch accounting.
+func TestCrossEpisodeTokenIsStale(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 3}
+	in, _ := newTestIngress(cfg, 3, infx)
+	efx := &egressFx{ingress: map[int]*Ingress{3: in}}
+	eg, normal := newTestEgress(cfg, 1, efx)
+	infx.egress = map[int]*Egress{1: eg}
+
+	// Episode 1: root, input 3 recruited.
+	storeEgressNormal(eg, normal, 3, 256)
+	storeEgressNormal(eg, normal, 3, 64)
+	if in.ActiveSAQs() != 1 {
+		t.Fatal("not recruited")
+	}
+	// Episode 1 ends: queue drains, token returns, root clears.
+	drainOne(normal)
+	drainOne(normal)
+	eg.OnDrained(nil)
+	in.SweepIdle()
+	if eg.Root() {
+		t.Fatal("root did not clear")
+	}
+	// Episode 2: root again; this time the recruit is REFUSED because
+	// the CAM is artificially full.
+	for in.cam.Used() < cfg.MaxSAQs {
+		in.cam.Allocate(pkt.PathOf(byte(9), byte(in.cam.Used()))) // fill
+	}
+	storeEgressNormal(eg, normal, 3, 256)
+	storeEgressNormal(eg, normal, 3, 64)
+	if !eg.Root() {
+		t.Fatal("episode 2 root not detected")
+	}
+	before := eg.Stats().StaleMsgs
+	// A token from nowhere (e.g. an episode-1 leftover) arrives: it
+	// must be counted stale, not break the accounting.
+	eg.OnTokenFromIngress(3, pkt.Path{})
+	if eg.Stats().StaleMsgs != before+1 {
+		t.Fatal("cross-episode token not treated as stale")
+	}
+	// The root can still clear normally once its queue drains (no
+	// tokens are genuinely out: the recruit was refused... the refusal
+	// left no branch).
+	drainOne(normal)
+	drainOne(normal)
+	eg.OnDrained(nil)
+	if eg.Root() {
+		t.Fatal("root stuck after refused recruit")
+	}
+}
+
+// Overlapping trees: allocating a longer path places markers in every
+// prefix SAQ, and the new SAQ unblocks only when all of them resolve.
+func TestPrefixMarkers(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, normal := newTestIngress(cfg, 0, infx)
+
+	in.OnNotifyLocal(pkt.PathOf(4))
+	short := in.SAQByID(0)
+	// Resolve the short SAQ's own marker.
+	e := normal.Pop()
+	in.ResolveMarker(e.Marker.SAQ)
+	if short.Blocked() {
+		t.Fatal("short SAQ still blocked")
+	}
+	storeIngressSAQ(in, short, 64) // it holds a packet
+
+	// Longer path: marker goes into the normal queue AND into the
+	// short SAQ.
+	in.OnNotifyLocal(pkt.PathOf(4, 2))
+	long := in.SAQByID(1)
+	if !long.Blocked() {
+		t.Fatal("long SAQ not blocked")
+	}
+	if short.Q.Entries() != 2 { // packet + marker
+		t.Fatalf("short SAQ entries %d, want 2", short.Q.Entries())
+	}
+	// Resolving only the normal-queue marker is not enough.
+	e = normal.Pop()
+	in.ResolveMarker(e.Marker.SAQ)
+	if !long.Blocked() {
+		t.Fatal("long SAQ unblocked with a prefix marker pending")
+	}
+	// Drain the short SAQ's packet, then its marker.
+	drainOne(short.Q)
+	in.OnDrained(short)
+	e = short.Q.Pop()
+	if !e.IsMarker() {
+		t.Fatal("expected marker at short SAQ head")
+	}
+	in.ResolveMarker(e.Marker.SAQ)
+	if long.Blocked() {
+		t.Fatal("long SAQ still blocked after all markers resolved")
+	}
+	// An unrelated path gets only the normal-queue marker.
+	in.OnNotifyLocal(pkt.PathOf(5))
+	if in.Stats().MarkersPlaced != 1+2+1 {
+		t.Fatalf("markers placed: %d", in.Stats().MarkersPlaced)
+	}
+}
+
+// SweepIdle returns tokens of never-used SAQs so trees can collapse,
+// but leaves used-but-nonempty and non-leaf SAQs alone.
+func TestSweepIdleSelectivity(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+
+	in.OnNotifyLocal(pkt.PathOf(1)) // never used → swept
+	in.OnNotifyLocal(pkt.PathOf(2)) // holds a packet → kept
+	s2 := in.SAQByID(1)
+	storeIngressSAQ(in, s2, 64)
+	in.OnNotifyLocal(pkt.PathOf(3)) // propagated upstream → kept
+	s3 := in.SAQByID(2)
+	storeIngressSAQ(in, s3, 128)
+	drainOne(s3.Q)
+	in.OnDrained(s3)
+	if s3.Leaf() {
+		t.Fatal("s3 should have sent its token upstream")
+	}
+	in.SweepIdle()
+	if in.ActiveSAQs() != 2 {
+		t.Fatalf("ActiveSAQs = %d after sweep, want 2", in.ActiveSAQs())
+	}
+	if in.SAQByID(0) != nil {
+		t.Fatal("never-used SAQ survived the sweep")
+	}
+
+	// Egress side: a SAQ with outstanding branches is never swept.
+	in2fx := &ingressFx{port: 0}
+	in2, _ := newTestIngress(cfg, 0, in2fx)
+	efx := &egressFx{ingress: map[int]*Ingress{0: in2}}
+	eg, _ := newTestEgress(cfg, 6, efx)
+	in2fx.egress = map[int]*Egress{6: eg}
+	eg.OnUpstreamNotification(pkt.PathOf(2))
+	s := eg.SAQByID(0)
+	storeEgressSAQ(eg, s, 0, 200) // crosses propagate → notifies input 0
+	drainOne(s.Q)
+	eg.OnDrained(s)
+	eg.SweepIdle()
+	if eg.ActiveSAQs() != 1 {
+		t.Fatal("egress SAQ with outstanding branch swept")
+	}
+	// Branch returns (ingress SAQ never used → swept), then the egress
+	// SAQ goes too.
+	in2.SweepIdle()
+	eg.SweepIdle()
+	if eg.ActiveSAQs() != 0 {
+		t.Fatal("egress SAQ not swept after branch returned")
+	}
+	if len(efx.downTokens) != 1 {
+		t.Fatalf("downstream tokens: %d", len(efx.downTokens))
+	}
+}
+
+// Refused-vs-dealloc tokens: a refusal backs propagation off until the
+// queue drains below the threshold; a dealloc re-arms immediately.
+func TestTokenRefusedVsDealloc(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnNotifyLocal(pkt.PathOf(4))
+	s := in.SAQByID(0)
+	storeIngressSAQ(in, s, 256) // crosses propagate and xoff at once
+	if len(infx.upstream) != 2 || infx.upstream[0].Kind != MsgNotify || infx.upstream[1].Kind != MsgXoff {
+		t.Fatalf("msgs: %+v", infx.upstream)
+	}
+	// Dealloc token arrives while still over threshold → immediate
+	// re-notification (the upstream SAQ drained, the flow did not).
+	in.OnTokenFromUpstream(pkt.PathOf(4), false)
+	if len(infx.upstream) != 4 || infx.upstream[2].Kind != MsgNotify || infx.upstream[3].Kind != MsgXoff {
+		t.Fatalf("no immediate re-propagation: %+v", infx.upstream)
+	}
+	// Refused token arrives → back off even though still loaded.
+	n := len(infx.upstream)
+	in.OnTokenFromUpstream(pkt.PathOf(4), true)
+	storeIngressSAQ(in, s, 64)
+	if len(infx.upstream) != n {
+		t.Fatalf("propagated after refusal: %+v", infx.upstream)
+	}
+}
+
+// Disabled markers (ablation A4) leave SAQs immediately eligible.
+func TestNoMarkersConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoInOrderMarkers = true
+	infx := &ingressFx{port: 0}
+	in, normal := newTestIngress(cfg, 0, infx)
+	normal.Push(64, "ahead")
+	in.OnNotifyLocal(pkt.PathOf(4))
+	s := in.SAQByID(0)
+	if s.Blocked() {
+		t.Fatal("SAQ blocked with markers disabled")
+	}
+	if normal.Entries() != 1 {
+		t.Fatal("marker placed with markers disabled")
+	}
+}
+
+// BoostPackets = 0 disables the arbiter boost (ablation A3).
+func TestBoostDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.BoostPackets = 0
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnNotifyLocal(pkt.PathOf(4))
+	s := in.SAQByID(0)
+	storeIngressSAQ(in, s, 10)
+	if in.Boosted(s) {
+		t.Fatal("boost active with BoostPackets=0")
+	}
+}

@@ -1,0 +1,584 @@
+package recn
+
+import (
+	"testing"
+
+	"repro/internal/mempool"
+	"repro/internal/pkt"
+)
+
+func testConfig() Config {
+	return Config{
+		MaxSAQs:        8,
+		DetectBytes:    256,
+		PropagateBytes: 128,
+		XoffBytes:      192,
+		XonBytes:       64,
+		BoostPackets:   2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := []Config{
+		{MaxSAQs: 0, DetectBytes: 1, PropagateBytes: 1, XoffBytes: 2, XonBytes: 1},
+		{MaxSAQs: 1, DetectBytes: 0, PropagateBytes: 1, XoffBytes: 2, XonBytes: 1},
+		{MaxSAQs: 1, DetectBytes: 1, PropagateBytes: 1, XoffBytes: 1, XonBytes: 1},
+		{MaxSAQs: 1, DetectBytes: 1, PropagateBytes: 1, XoffBytes: 2, XonBytes: 1, BoostPackets: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly", i)
+		}
+	}
+}
+
+func TestCtlMsgSizes(t *testing.T) {
+	if (CtlMsg{Kind: MsgNotify}).Size() != 16 {
+		t.Error("notify size")
+	}
+	if (CtlMsg{Kind: MsgToken}).Size() != 12 {
+		t.Error("token size")
+	}
+	if (CtlMsg{Kind: MsgXoff}).Size() != 8 || (CtlMsg{Kind: MsgXon}).Size() != 8 {
+		t.Error("xon/xoff size")
+	}
+	for _, k := range []MsgKind{MsgNotify, MsgToken, MsgXoff, MsgXon, MsgKind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty String for kind %d", int(k))
+		}
+	}
+}
+
+// egressFx records an egress controller's effects; notifications can be
+// wired to real ingress controllers.
+type egressFx struct {
+	ingress    map[int]*Ingress // wired local inputs (nil entry → refuse)
+	downTokens []pkt.Path
+	notifies   []struct {
+		in   int
+		path pkt.Path
+	}
+}
+
+func (fx *egressFx) NotifyIngress(i int, path pkt.Path) bool {
+	fx.notifies = append(fx.notifies, struct {
+		in   int
+		path pkt.Path
+	}{i, path})
+	if in, ok := fx.ingress[i]; ok && in != nil {
+		return in.OnNotifyLocal(path)
+	}
+	return false
+}
+
+func (fx *egressFx) SendTokenDownstream(path pkt.Path, refused bool) {
+	fx.downTokens = append(fx.downTokens, path)
+}
+
+// ingressFx records an ingress controller's effects; tokens can be
+// wired back to a real egress controller.
+type ingressFx struct {
+	port     int
+	egress   map[int]*Egress
+	upstream []CtlMsg
+}
+
+func (fx *ingressFx) SendUpstream(m CtlMsg) { fx.upstream = append(fx.upstream, m) }
+
+func (fx *ingressFx) TokenToEgress(out int, rest pkt.Path) {
+	if e, ok := fx.egress[out]; ok && e != nil {
+		e.OnTokenFromIngress(fx.port, rest)
+	}
+}
+
+// newTestEgress builds an egress controller on output port `port` with
+// a fresh pool and normal queue.
+func newTestEgress(cfg Config, port int, fx *egressFx) (*Egress, *mempool.Queue) {
+	pool := mempool.NewPool(1 << 20)
+	normal := mempool.NewQueue(pool, 0)
+	return NewEgress(cfg, port, pool, []*mempool.Queue{normal}, false, fx), normal
+}
+
+func newTestIngress(cfg Config, port int, fx *ingressFx) (*Ingress, *mempool.Queue) {
+	pool := mempool.NewPool(1 << 20)
+	normal := mempool.NewQueue(pool, 0)
+	return NewIngress(cfg, port, pool, []*mempool.Queue{normal}, fx), normal
+}
+
+// storeNormal pushes a packet into a controller's normal queue and
+// fires the stored hook.
+func storeEgressNormal(e *Egress, q *mempool.Queue, from, size int) {
+	q.Push(size, nil)
+	e.OnStored(nil, from, size)
+}
+
+func storeEgressSAQ(e *Egress, s *SAQ, from, size int) {
+	s.Q.Push(size, nil)
+	e.OnStored(s, from, size)
+}
+
+func storeIngressSAQ(in *Ingress, s *SAQ, size int) {
+	s.Q.Push(size, nil)
+	in.OnStored(s, size)
+}
+
+func drainOne(q *mempool.Queue) {
+	e := q.Pop()
+	q.ReleaseResident(e.Size)
+}
+
+func TestRootDetectionAndNotification(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 2}
+	in, _ := newTestIngress(cfg, 2, infx)
+	efx := &egressFx{ingress: map[int]*Ingress{2: in}}
+	eg, normal := newTestEgress(cfg, 5, efx)
+	infx.egress = map[int]*Egress{5: eg}
+
+	// Below threshold: no root, no notifications.
+	storeEgressNormal(eg, normal, 2, 128)
+	if eg.Root() || len(efx.notifies) != 0 {
+		t.Fatal("premature root detection")
+	}
+	// Crossing the detect threshold makes the port a root and notifies
+	// the sender.
+	storeEgressNormal(eg, normal, 2, 128)
+	if !eg.Root() {
+		t.Fatal("root not detected at threshold")
+	}
+	if len(efx.notifies) != 1 || efx.notifies[0].in != 2 {
+		t.Fatalf("notifications: %+v", efx.notifies)
+	}
+	if !efx.notifies[0].path.Equal(pkt.PathOf(5)) {
+		t.Fatalf("notification path = %v, want 5", efx.notifies[0].path)
+	}
+	// The ingress allocated a SAQ with the path and a marker.
+	if in.ActiveSAQs() != 1 {
+		t.Fatalf("ingress SAQs = %d", in.ActiveSAQs())
+	}
+	s := in.Classify(pkt.Route{5, 0}, 0)
+	if s == nil || !s.Path.Equal(pkt.PathOf(5)) {
+		t.Fatalf("Classify = %v", s)
+	}
+	if !s.Blocked() {
+		t.Fatal("fresh SAQ not blocked by marker")
+	}
+	// Same sender again: flag suppresses repeats.
+	storeEgressNormal(eg, normal, 2, 64)
+	if len(efx.notifies) != 1 {
+		t.Fatalf("repeated notification: %+v", efx.notifies)
+	}
+	// A different sender gets its own notification (refused here: no
+	// controller wired for port 3).
+	storeEgressNormal(eg, normal, 3, 64)
+	if len(efx.notifies) != 2 || efx.notifies[1].in != 3 {
+		t.Fatalf("second sender not notified: %+v", efx.notifies)
+	}
+	if eg.Stats().Refusals != 1 {
+		t.Fatalf("refusals = %d, want 1", eg.Stats().Refusals)
+	}
+}
+
+func TestMarkerResolution(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, normal := newTestIngress(cfg, 0, infx)
+	normal.Push(64, "before")
+	if !in.OnNotifyLocal(pkt.PathOf(4)) {
+		t.Fatal("notification refused")
+	}
+	s := in.SAQByID(0)
+	if s == nil || !s.Blocked() {
+		t.Fatal("SAQ missing or unblocked")
+	}
+	// The packet ahead of the marker must drain first.
+	drainOne(normal)
+	head, ok := normal.Head()
+	if !ok || !head.IsMarker() {
+		t.Fatalf("head = %+v, want marker", head)
+	}
+	normal.Pop()
+	in.ResolveMarker(head.Marker.SAQ)
+	if s.Blocked() {
+		t.Fatal("SAQ still blocked after marker resolution")
+	}
+	if !in.EligibleTx(s) {
+		t.Fatal("unblocked SAQ not eligible")
+	}
+	// Stale marker: resolving an unknown UID is inert.
+	in.ResolveMarker(9999)
+}
+
+func TestIngressRefusalWhenCAMFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSAQs = 1
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	if !in.OnNotifyLocal(pkt.PathOf(4)) {
+		t.Fatal("first notification refused")
+	}
+	if in.OnNotifyLocal(pkt.PathOf(5)) {
+		t.Fatal("notification accepted with full CAM")
+	}
+	// Duplicate path also refused.
+	if in.OnNotifyLocal(pkt.PathOf(4)) {
+		t.Fatal("duplicate path accepted")
+	}
+	if in.Stats().Refusals != 2 {
+		t.Fatalf("refusals = %d", in.Stats().Refusals)
+	}
+}
+
+func TestUpstreamPropagationAndXonXoff(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 1}
+	in, _ := newTestIngress(cfg, 1, infx)
+	in.OnNotifyLocal(pkt.PathOf(6, 2))
+	s := in.SAQByID(0)
+
+	// Fill to the propagation threshold: one notification upstream
+	// with the same path.
+	storeIngressSAQ(in, s, 64)
+	if len(infx.upstream) != 0 {
+		t.Fatal("premature propagation")
+	}
+	storeIngressSAQ(in, s, 64)
+	if len(infx.upstream) != 1 || infx.upstream[0].Kind != MsgNotify {
+		t.Fatalf("upstream msgs: %+v", infx.upstream)
+	}
+	if !infx.upstream[0].Path.Equal(pkt.PathOf(6, 2)) {
+		t.Fatalf("propagated path = %v", infx.upstream[0].Path)
+	}
+	if s.Leaf() {
+		t.Fatal("SAQ still a leaf after propagating the token upstream")
+	}
+	// More stores do not repeat the notification; crossing Xoff sends
+	// exactly one Xoff.
+	storeIngressSAQ(in, s, 64)
+	if len(infx.upstream) != 2 || infx.upstream[1].Kind != MsgXoff {
+		t.Fatalf("upstream msgs: %+v", infx.upstream)
+	}
+	storeIngressSAQ(in, s, 64)
+	if len(infx.upstream) != 2 {
+		t.Fatalf("xoff repeated: %+v", infx.upstream)
+	}
+	// Drain below Xon threshold: one Xon.
+	for i := 0; i < 3; i++ {
+		drainOne(s.Q)
+		in.OnDrained(s)
+	}
+	if len(infx.upstream) != 3 || infx.upstream[2].Kind != MsgXon {
+		t.Fatalf("upstream msgs: %+v", infx.upstream)
+	}
+	// Token returns from upstream: leaf again; drain the last packet
+	// and the SAQ deallocates, handing the token to output port 6.
+	in.OnTokenFromUpstream(pkt.PathOf(6, 2), false)
+	if !s.Leaf() {
+		t.Fatal("token return did not restore leaf")
+	}
+	drainOne(s.Q)
+	in.OnDrained(s)
+	if in.ActiveSAQs() != 0 {
+		t.Fatal("SAQ not deallocated")
+	}
+}
+
+func TestEgressSAQLifecycle(t *testing.T) {
+	cfg := testConfig()
+	// Wire: egress port 6 with two real ingress controllers 0 and 1.
+	infx0 := &ingressFx{port: 0}
+	in0, _ := newTestIngress(cfg, 0, infx0)
+	infx1 := &ingressFx{port: 1}
+	in1, _ := newTestIngress(cfg, 1, infx1)
+	efx := &egressFx{ingress: map[int]*Ingress{0: in0, 1: in1}}
+	eg, _ := newTestEgress(cfg, 6, efx)
+	infx0.egress = map[int]*Egress{6: eg}
+	infx1.egress = map[int]*Egress{6: eg}
+
+	// A notification from downstream allocates an egress SAQ.
+	eg.OnUpstreamNotification(pkt.PathOf(2))
+	if eg.ActiveSAQs() != 1 {
+		t.Fatal("egress SAQ not allocated")
+	}
+	s := eg.SAQByID(0)
+	if !s.Blocked() || !s.Leaf() {
+		t.Fatalf("fresh egress SAQ state: blocked=%v leaf=%v", s.Blocked(), s.Leaf())
+	}
+	// Classification uses the path (remaining route at next switch).
+	if got := eg.Classify(pkt.Route{5, 2, 0}, 1); got != s {
+		t.Fatalf("Classify = %v", got)
+	}
+	if got := eg.Classify(pkt.Route{5, 3, 0}, 1); got != nil {
+		t.Fatalf("unrelated route classified into SAQ")
+	}
+
+	// Fill past the propagation threshold via stores from both inputs:
+	// each gets an internal notification with the extended path 6.2.
+	storeEgressSAQ(eg, s, 0, 128)
+	storeEgressSAQ(eg, s, 0, 64)
+	if in0.ActiveSAQs() != 1 {
+		t.Fatal("input 0 not notified")
+	}
+	if got := in0.SAQByID(0).Path; !got.Equal(pkt.PathOf(6, 2)) {
+		t.Fatalf("input 0 path = %v, want 6.2", got)
+	}
+	storeEgressSAQ(eg, s, 1, 64)
+	if in1.ActiveSAQs() != 1 {
+		t.Fatal("input 1 not notified")
+	}
+	if s.Leaf() {
+		t.Fatal("egress SAQ with branches is not a leaf")
+	}
+
+	// Drain the egress SAQ; it cannot deallocate while branches are out.
+	for i := 0; i < 3; i++ {
+		drainOne(s.Q)
+		eg.OnDrained(s)
+	}
+	if eg.ActiveSAQs() != 1 {
+		t.Fatal("egress SAQ deallocated with outstanding branches")
+	}
+	// Ingress SAQs are idle leaves → dealloc → tokens return → egress
+	// SAQ deallocates and sends the token downstream.
+	in0.SweepIdle()
+	if eg.ActiveSAQs() != 1 {
+		t.Fatal("egress SAQ deallocated after one branch")
+	}
+	in1.SweepIdle()
+	if eg.ActiveSAQs() != 0 {
+		t.Fatal("egress SAQ not deallocated after all branches returned")
+	}
+	if len(efx.downTokens) != 1 || !efx.downTokens[0].Equal(pkt.PathOf(2)) {
+		t.Fatalf("downstream tokens: %+v", efx.downTokens)
+	}
+}
+
+func TestRootCollapse(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 3}
+	in, _ := newTestIngress(cfg, 3, infx)
+	efx := &egressFx{ingress: map[int]*Ingress{3: in}}
+	eg, normal := newTestEgress(cfg, 1, efx)
+	infx.egress = map[int]*Egress{1: eg}
+
+	for i := 0; i < 4; i++ {
+		storeEgressNormal(eg, normal, 3, 64)
+	}
+	if !eg.Root() || in.ActiveSAQs() != 1 {
+		t.Fatal("tree not formed")
+	}
+	// Drain the root queue below threshold: still root (branch out).
+	for i := 0; i < 3; i++ {
+		drainOne(normal)
+		eg.OnDrained(nil)
+	}
+	if !eg.Root() {
+		t.Fatal("root cleared with outstanding branch")
+	}
+	// Ingress SAQ deallocates (idle leaf) → token home → root clears.
+	in.SweepIdle()
+	if eg.Root() {
+		t.Fatal("root not cleared after token returned and queue drained")
+	}
+	// A new episode can re-notify the same ingress.
+	storeEgressNormal(eg, normal, 3, 256)
+	storeEgressNormal(eg, normal, 3, 64)
+	if !eg.Root() || in.ActiveSAQs() != 1 {
+		t.Fatal("re-congestion did not rebuild the tree")
+	}
+}
+
+func TestEgressXoffFromDownstream(t *testing.T) {
+	cfg := testConfig()
+	efx := &egressFx{ingress: map[int]*Ingress{}}
+	eg, _ := newTestEgress(cfg, 0, efx)
+	eg.OnUpstreamNotification(pkt.PathOf(3))
+	s := eg.SAQByID(0)
+	s.markersPending = 0
+	if !eg.EligibleTx(s) {
+		t.Fatal("SAQ not eligible")
+	}
+	eg.OnXoffFromDownstream(pkt.PathOf(3))
+	if eg.EligibleTx(s) {
+		t.Fatal("SAQ eligible after Xoff")
+	}
+	eg.OnXonFromDownstream(pkt.PathOf(3))
+	if !eg.EligibleTx(s) {
+		t.Fatal("SAQ not eligible after Xon")
+	}
+	// Unknown paths are counted as stale, not fatal.
+	eg.OnXoffFromDownstream(pkt.PathOf(9))
+	eg.OnXonFromDownstream(pkt.PathOf(9))
+	eg.OnTokenFromIngress(0, pkt.PathOf(9))
+	if eg.Stats().StaleMsgs != 3 {
+		t.Fatalf("stale msgs = %d, want 3", eg.Stats().StaleMsgs)
+	}
+}
+
+func TestInternalGate(t *testing.T) {
+	cfg := testConfig()
+	efx := &egressFx{ingress: map[int]*Ingress{}}
+	eg, _ := newTestEgress(cfg, 0, efx)
+	eg.OnUpstreamNotification(pkt.PathOf(3))
+	s := eg.SAQByID(0)
+	route := pkt.Route{0, 3, 1}
+	if eg.GatedInternally(route, 1) {
+		t.Fatal("gated while empty")
+	}
+	storeEgressSAQ(eg, s, 0, 192) // = XoffBytes
+	if !eg.GatedInternally(route, 1) {
+		t.Fatal("not gated at Xoff threshold")
+	}
+	drainOne(s.Q)
+	eg.OnDrained(s)
+	if eg.GatedInternally(route, 1) {
+		t.Fatal("still gated below Xon threshold")
+	}
+	if eg.GatedInternally(pkt.Route{0, 5}, 1) {
+		t.Fatal("unmatched route gated")
+	}
+}
+
+func TestBoost(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnNotifyLocal(pkt.PathOf(4))
+	s := in.SAQByID(0)
+	if in.Boosted(s) {
+		t.Fatal("empty SAQ boosted")
+	}
+	storeIngressSAQ(in, s, 10)
+	if !in.Boosted(s) {
+		t.Fatal("small leaf SAQ not boosted")
+	}
+	storeIngressSAQ(in, s, 10)
+	storeIngressSAQ(in, s, 200) // 3 packets > BoostPackets, and propagation fires
+	if in.Boosted(s) {
+		t.Fatal("large / non-leaf SAQ boosted")
+	}
+
+	efx := &egressFx{ingress: map[int]*Ingress{}}
+	eg, _ := newTestEgress(cfg, 0, efx)
+	eg.OnUpstreamNotification(pkt.PathOf(2))
+	es := eg.SAQByID(0)
+	storeEgressSAQ(eg, es, 0, 10)
+	if !eg.Boosted(es) {
+		t.Fatal("small egress leaf SAQ not boosted")
+	}
+}
+
+func TestTerminalEgressNeverRootNeverNotifies(t *testing.T) {
+	cfg := testConfig()
+	pool := mempool.NewPool(1 << 20)
+	normal := mempool.NewQueue(pool, 0)
+	efx := &egressFx{ingress: map[int]*Ingress{}}
+	eg := NewEgress(cfg, 0, pool, []*mempool.Queue{normal}, true, efx)
+	for i := 0; i < 10; i++ {
+		normal.Push(64, nil)
+		eg.OnStored(nil, -1, 64)
+	}
+	if eg.Root() {
+		t.Fatal("terminal port became root")
+	}
+	// A SAQ on a terminal port never notifies ingress ports, but it
+	// does return its token downstream on deallocation.
+	eg.OnUpstreamNotification(pkt.PathOf(1, 2))
+	s := eg.SAQByID(0)
+	storeEgressSAQ(eg, s, -1, 256)
+	if len(efx.notifies) != 0 {
+		t.Fatal("terminal port notified ingress")
+	}
+	drainOne(s.Q)
+	eg.OnDrained(s)
+	if eg.ActiveSAQs() != 0 {
+		t.Fatal("terminal SAQ not deallocated")
+	}
+	if len(efx.downTokens) != 1 {
+		t.Fatal("terminal SAQ did not return token downstream")
+	}
+}
+
+func TestReArmPreventsNotifyStorm(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnNotifyLocal(pkt.PathOf(4))
+	s := in.SAQByID(0)
+	storeIngressSAQ(in, s, 128) // propagate
+	if len(infx.upstream) != 1 {
+		t.Fatalf("msgs: %+v", infx.upstream)
+	}
+	// Upstream refused: token returns while still over threshold.
+	in.OnTokenFromUpstream(pkt.PathOf(4), true)
+	// More stores must NOT re-notify until occupancy drops below the
+	// threshold once.
+	storeIngressSAQ(in, s, 10)
+	if len(infx.upstream) != 1 {
+		t.Fatalf("notify storm: %+v", infx.upstream)
+	}
+	for s.Q.QueuedBytes() >= cfg.PropagateBytes {
+		drainOne(s.Q)
+		in.OnDrained(s)
+	}
+	storeIngressSAQ(in, s, 256)
+	// Re-armed: a notification goes out again, and since occupancy is
+	// already above the Xoff threshold the Xoff follows immediately.
+	if len(infx.upstream) != 3 ||
+		infx.upstream[1].Kind != MsgNotify || infx.upstream[2].Kind != MsgXoff {
+		t.Fatalf("re-arm failed: %+v", infx.upstream)
+	}
+}
+
+func TestStaleTokenAtIngress(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnTokenFromUpstream(pkt.PathOf(1), false) // no such SAQ
+	if in.Stats().StaleMsgs != 1 {
+		t.Fatalf("stale msgs = %d", in.Stats().StaleMsgs)
+	}
+	in.OnNotifyLocal(pkt.PathOf(1))
+	in.OnTokenFromUpstream(pkt.PathOf(1), false) // SAQ never sent upstream
+	if in.Stats().StaleMsgs != 2 {
+		t.Fatalf("stale msgs = %d", in.Stats().StaleMsgs)
+	}
+}
+
+func TestLongestMatchAcrossControllers(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnNotifyLocal(pkt.PathOf(4))
+	in.OnNotifyLocal(pkt.PathOf(4, 2))
+	long := in.Classify(pkt.Route{4, 2, 1}, 0)
+	if long == nil || !long.Path.Equal(pkt.PathOf(4, 2)) {
+		t.Fatalf("longest match = %v", long)
+	}
+	short := in.Classify(pkt.Route{4, 3}, 0)
+	if short == nil || !short.Path.Equal(pkt.PathOf(4)) {
+		t.Fatalf("short match = %v", short)
+	}
+	if in.Classify(pkt.Route{5}, 0) != nil {
+		t.Fatal("unmatched route classified")
+	}
+}
+
+func TestForEachSAQOrder(t *testing.T) {
+	cfg := testConfig()
+	infx := &ingressFx{port: 0}
+	in, _ := newTestIngress(cfg, 0, infx)
+	in.OnNotifyLocal(pkt.PathOf(1))
+	in.OnNotifyLocal(pkt.PathOf(2))
+	var ids []int
+	in.ForEachSAQ(func(s *SAQ) { ids = append(ids, s.ID) })
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("ForEachSAQ order: %v", ids)
+	}
+	if in.String() == "" {
+		t.Error("empty String")
+	}
+}

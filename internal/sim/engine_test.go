@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{Nanosecond, "1.000ns"},
+		{64 * Nanosecond, "64.000ns"},
+		{Microsecond, "1.000us"},
+		{1500 * Microsecond, "1.500ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2500 * Nanosecond).Micros(); got != 2.5 {
+		t.Errorf("Micros() = %v, want 2.5", got)
+	}
+	if got := (1500 * Picosecond).Nanos(); got != 1.5 {
+		t.Errorf("Nanos() = %v, want 1.5", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v after Run(100), want 100", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(50, func() { order = append(order, i) })
+	}
+	e.Run(50)
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run(1000)
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(100, func() { fired++ })
+	e.Schedule(101, func() { fired++ })
+	n := e.Run(100)
+	if n != 2 || fired != 2 {
+		t.Fatalf("Run(100) dispatched %d events (fired=%d), want 2", n, fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Continue past the horizon.
+	n = e.Run(200)
+	if n != 1 || fired != 3 {
+		t.Fatalf("second Run dispatched %d (fired=%d), want 1", n, fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++; e.Stop() })
+	e.Schedule(20, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("Stop did not halt dispatch: fired=%d", fired)
+	}
+	// Run resumes after Stop.
+	e.Run(100)
+	if fired != 2 {
+		t.Fatalf("Run after Stop did not resume: fired=%d", fired)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	e := NewEngine()
+	var last Time
+	e.Schedule(10, func() {
+		e.After(1_000_000, func() { last = e.Now() })
+	})
+	n := e.Drain()
+	if n != 2 {
+		t.Fatalf("Drain dispatched %d, want 2", n)
+	}
+	if last != 1_000_010 {
+		t.Fatalf("last event at %v, want 1000010", last)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.Schedule(50, func() {})
+	})
+	e.Run(200)
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+// Property: for any random schedule, events dispatch in nondecreasing
+// time order and every event scheduled at or before the horizon fires.
+func TestQuickRandomScheduleOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n)%64 + 1
+		var fireTimes []Time
+		expected := 0
+		for i := 0; i < count; i++ {
+			at := Time(rng.Int63n(1000))
+			if at <= 500 {
+				expected++
+			}
+			e.Schedule(at, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run(500)
+		if len(fireTimes) != expected {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nested scheduling from within events preserves causal order.
+func TestQuickNestedScheduling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var times []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			times = append(times, e.Now())
+			if depth < 4 {
+				for i := 0; i < 2; i++ {
+					e.After(Time(rng.Int63n(100)), func() { spawn(depth + 1) })
+				}
+			}
+		}
+		e.Schedule(0, func() { spawn(0) })
+		e.Drain()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == 1+2+4+8+16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%97), func() {})
+		if i%64 == 63 {
+			e.Run(e.Now() + 100)
+		}
+	}
+	e.Drain()
+}

@@ -1,0 +1,240 @@
+// Package stats collects the measurements the paper reports: network
+// throughput over time (bytes/ns), SAQ utilization over time (total,
+// max per ingress port, max per egress port) and packet latency
+// summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Throughput bins delivered bytes over time. Rates are reported in
+// bytes per nanosecond, the paper's unit.
+type Throughput struct {
+	bin   sim.Time
+	bytes []uint64
+}
+
+// NewThroughput creates a meter with the given bin width.
+func NewThroughput(bin sim.Time) *Throughput {
+	if bin <= 0 {
+		panic(fmt.Sprintf("stats: bin width %v", bin))
+	}
+	return &Throughput{bin: bin}
+}
+
+// Add records size bytes delivered at time t.
+func (m *Throughput) Add(t sim.Time, size int) {
+	idx := int(t / m.bin)
+	for len(m.bytes) <= idx {
+		m.bytes = append(m.bytes, 0)
+	}
+	m.bytes[idx] += uint64(size)
+}
+
+// Bin returns the bin width.
+func (m *Throughput) Bin() sim.Time { return m.bin }
+
+// Bins returns the number of bins recorded.
+func (m *Throughput) Bins() int { return len(m.bytes) }
+
+// Rate returns the throughput of bin i in bytes/ns.
+func (m *Throughput) Rate(i int) float64 {
+	if i < 0 || i >= len(m.bytes) {
+		return 0
+	}
+	return float64(m.bytes[i]) / m.bin.Nanos()
+}
+
+// Rates returns the whole series in bytes/ns.
+func (m *Throughput) Rates() []float64 {
+	out := make([]float64, len(m.bytes))
+	for i := range out {
+		out[i] = m.Rate(i)
+	}
+	return out
+}
+
+// Total returns all delivered bytes.
+func (m *Throughput) Total() uint64 {
+	var sum uint64
+	for _, b := range m.bytes {
+		sum += b
+	}
+	return sum
+}
+
+// MeanRate returns the average rate over [from, to) bins in bytes/ns.
+func (m *Throughput) MeanRate(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(m.bytes) {
+		to = len(m.bytes)
+	}
+	if to <= from {
+		return 0
+	}
+	var sum uint64
+	for _, b := range m.bytes[from:to] {
+		sum += b
+	}
+	return float64(sum) / (float64(to-from) * m.bin.Nanos())
+}
+
+// SAQSample is one observation of network-wide SAQ usage.
+type SAQSample struct {
+	Total      int
+	MaxIngress int
+	MaxEgress  int
+}
+
+// SAQSeries records the maximum SAQ usage observed within each time
+// bin (the paper's Figures 4–6 plot these maxima over time).
+type SAQSeries struct {
+	bin  sim.Time
+	maxs []SAQSample
+}
+
+// NewSAQSeries creates a series with the given bin width.
+func NewSAQSeries(bin sim.Time) *SAQSeries {
+	if bin <= 0 {
+		panic(fmt.Sprintf("stats: bin width %v", bin))
+	}
+	return &SAQSeries{bin: bin}
+}
+
+// Observe folds a sample taken at time t into its bin (keeping maxima).
+func (s *SAQSeries) Observe(t sim.Time, sample SAQSample) {
+	idx := int(t / s.bin)
+	for len(s.maxs) <= idx {
+		s.maxs = append(s.maxs, SAQSample{})
+	}
+	m := &s.maxs[idx]
+	if sample.Total > m.Total {
+		m.Total = sample.Total
+	}
+	if sample.MaxIngress > m.MaxIngress {
+		m.MaxIngress = sample.MaxIngress
+	}
+	if sample.MaxEgress > m.MaxEgress {
+		m.MaxEgress = sample.MaxEgress
+	}
+}
+
+// Bins returns the number of bins recorded.
+func (s *SAQSeries) Bins() int { return len(s.maxs) }
+
+// At returns the bin-i maxima.
+func (s *SAQSeries) At(i int) SAQSample {
+	if i < 0 || i >= len(s.maxs) {
+		return SAQSample{}
+	}
+	return s.maxs[i]
+}
+
+// Peak returns the maxima over the whole run.
+func (s *SAQSeries) Peak() SAQSample {
+	var p SAQSample
+	for _, m := range s.maxs {
+		if m.Total > p.Total {
+			p.Total = m.Total
+		}
+		if m.MaxIngress > p.MaxIngress {
+			p.MaxIngress = m.MaxIngress
+		}
+		if m.MaxEgress > p.MaxEgress {
+			p.MaxEgress = m.MaxEgress
+		}
+	}
+	return p
+}
+
+// Latency summarizes packet latencies with logarithmic buckets: exact
+// count/mean/max plus approximate quantiles (16 sub-buckets per octave
+// keeps the relative quantile error under ~5%).
+type Latency struct {
+	count   uint64
+	sum     float64
+	max     sim.Time
+	buckets map[int]uint64
+}
+
+// NewLatency creates an empty summary.
+func NewLatency() *Latency {
+	return &Latency{buckets: make(map[int]uint64)}
+}
+
+const latencySubBuckets = 16
+
+// bucketOf maps a latency to a log-scale bucket index.
+func bucketOf(d sim.Time) int {
+	if d <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(float64(d)) * latencySubBuckets))
+}
+
+// bucketValue returns a representative latency for a bucket.
+func bucketValue(b int) sim.Time {
+	return sim.Time(math.Exp2(float64(b)/latencySubBuckets) * 1.022) // mid-bucket
+}
+
+// Add records one latency observation.
+func (l *Latency) Add(d sim.Time) {
+	l.count++
+	l.sum += float64(d)
+	if d > l.max {
+		l.max = d
+	}
+	l.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() uint64 { return l.count }
+
+// Mean returns the exact mean latency.
+func (l *Latency) Mean() sim.Time {
+	if l.count == 0 {
+		return 0
+	}
+	return sim.Time(l.sum / float64(l.count))
+}
+
+// Max returns the exact maximum latency.
+func (l *Latency) Max() sim.Time { return l.max }
+
+// Quantile returns the approximate q-quantile (0 < q ≤ 1).
+func (l *Latency) Quantile(q float64) sim.Time {
+	if l.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	keys := make([]int, 0, len(l.buckets))
+	for k := range l.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := uint64(math.Ceil(q * float64(l.count)))
+	var seen uint64
+	for _, k := range keys {
+		seen += l.buckets[k]
+		if seen >= target {
+			v := bucketValue(k)
+			if v > l.max {
+				v = l.max
+			}
+			return v
+		}
+	}
+	return l.max
+}

@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+)
+
+// Mesh is a 2D mesh of switches with one host per switch — the paper's
+// §3 notes RECN "is valid for any network topology, including both
+// direct networks (e.g. meshes and tori) and MINs"; this demonstrates
+// it. Routing is deterministic dimension-order (X first, then Y),
+// which preserves the property RECN needs: the remaining path from any
+// switch to a destination is unique.
+//
+// Port numbering per switch:
+//
+//	0 = -X (west)   1 = +X (east)
+//	2 = -Y (south)  3 = +Y (north)
+//	4 = host
+type Mesh struct {
+	cols, rows int
+}
+
+// Mesh port indices.
+const (
+	MeshWest = iota
+	MeshEast
+	MeshSouth
+	MeshNorth
+	MeshHost
+	meshPorts
+)
+
+// NewMesh builds a cols×rows mesh.
+func NewMesh(cols, rows int) (*Mesh, error) {
+	if cols < 2 || rows < 2 {
+		return nil, fmt.Errorf("topology: mesh %dx%d too small", cols, rows)
+	}
+	if cols*rows > 1<<16 {
+		return nil, fmt.Errorf("topology: mesh %dx%d too large", cols, rows)
+	}
+	return &Mesh{cols: cols, rows: rows}, nil
+}
+
+// NumHosts returns the number of hosts (one per switch).
+func (m *Mesh) NumHosts() int { return m.cols * m.rows }
+
+// NumSwitches returns the switch count.
+func (m *Mesh) NumSwitches() int { return m.cols * m.rows }
+
+// PortsPerSwitch returns 5: four mesh directions plus the host port.
+func (m *Mesh) PortsPerSwitch() int { return meshPorts }
+
+// Cols returns the mesh width.
+func (m *Mesh) Cols() int { return m.cols }
+
+// Rows returns the mesh height.
+func (m *Mesh) Rows() int { return m.rows }
+
+// XY converts a switch/host ID to mesh coordinates.
+func (m *Mesh) XY(id int) (x, y int) { return id % m.cols, id / m.cols }
+
+// ID converts mesh coordinates to a switch/host ID.
+func (m *Mesh) ID(x, y int) int { return y*m.cols + x }
+
+// Peer returns what a switch port connects to. Border ports in missing
+// directions are unused.
+func (m *Mesh) Peer(sw, port int) End {
+	x, y := m.XY(sw)
+	switch port {
+	case MeshWest:
+		if x == 0 {
+			return End{Kind: KindNone}
+		}
+		return End{Kind: KindSwitch, Switch: m.ID(x-1, y), Port: MeshEast}
+	case MeshEast:
+		if x == m.cols-1 {
+			return End{Kind: KindNone}
+		}
+		return End{Kind: KindSwitch, Switch: m.ID(x+1, y), Port: MeshWest}
+	case MeshSouth:
+		if y == 0 {
+			return End{Kind: KindNone}
+		}
+		return End{Kind: KindSwitch, Switch: m.ID(x, y-1), Port: MeshNorth}
+	case MeshNorth:
+		if y == m.rows-1 {
+			return End{Kind: KindNone}
+		}
+		return End{Kind: KindSwitch, Switch: m.ID(x, y+1), Port: MeshSouth}
+	case MeshHost:
+		return End{Kind: KindHost, Host: sw}
+	default:
+		return End{Kind: KindNone}
+	}
+}
+
+// HostAttach returns the switch and port a host connects to.
+func (m *Mesh) HostAttach(h int) (sw, port int) {
+	if h < 0 || h >= m.NumHosts() {
+		panic(fmt.Sprintf("topology: mesh host %d out of range", h))
+	}
+	return h, MeshHost
+}
+
+// Route computes the dimension-order (X then Y) source route.
+func (m *Mesh) Route(src, dst int) (pkt.Route, error) {
+	if src == dst {
+		return nil, fmt.Errorf("topology: route from host %d to itself", src)
+	}
+	if src < 0 || src >= m.NumHosts() || dst < 0 || dst >= m.NumHosts() {
+		return nil, fmt.Errorf("topology: mesh route %d→%d out of range", src, dst)
+	}
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	var route pkt.Route
+	for x := sx; x < dx; x++ {
+		route = append(route, pkt.Turn(MeshEast))
+	}
+	for x := sx; x > dx; x-- {
+		route = append(route, pkt.Turn(MeshWest))
+	}
+	for y := sy; y < dy; y++ {
+		route = append(route, pkt.Turn(MeshNorth))
+	}
+	for y := sy; y > dy; y-- {
+		route = append(route, pkt.Turn(MeshSouth))
+	}
+	route = append(route, pkt.Turn(MeshHost))
+	return route, nil
+}
+
+// NextPort is the memoryless dimension-order decision at a switch for a
+// destination — RECN relies on this being a function of (switch, dst).
+func (m *Mesh) NextPort(sw, dst int) pkt.Turn {
+	x, y := m.XY(sw)
+	dx, dy := m.XY(dst)
+	switch {
+	case x < dx:
+		return pkt.Turn(MeshEast)
+	case x > dx:
+		return pkt.Turn(MeshWest)
+	case y < dy:
+		return pkt.Turn(MeshNorth)
+	case y > dy:
+		return pkt.Turn(MeshSouth)
+	default:
+		return pkt.Turn(MeshHost)
+	}
+}
+
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh %d×%d (%d switches, 1 host each, XY routing)", m.cols, m.rows, m.NumSwitches())
+}

@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+)
+
+func TestMeshConstruction(t *testing.T) {
+	m, err := NewMesh(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumHosts() != 12 || m.NumSwitches() != 12 || m.PortsPerSwitch() != 5 {
+		t.Fatalf("mesh dims: hosts=%d switches=%d ports=%d", m.NumHosts(), m.NumSwitches(), m.PortsPerSwitch())
+	}
+	if m.Cols() != 4 || m.Rows() != 3 {
+		t.Fatal("Cols/Rows")
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+	if _, err := NewMesh(1, 5); err == nil {
+		t.Error("1-wide mesh accepted")
+	}
+	if _, err := NewMesh(1000, 1000); err == nil {
+		t.Error("huge mesh accepted")
+	}
+}
+
+func TestMeshWiringSymmetric(t *testing.T) {
+	m, _ := NewMesh(5, 4)
+	hostSeen := map[int]bool{}
+	for sw := 0; sw < m.NumSwitches(); sw++ {
+		for port := 0; port < m.PortsPerSwitch(); port++ {
+			end := m.Peer(sw, port)
+			switch end.Kind {
+			case KindSwitch:
+				back := m.Peer(end.Switch, end.Port)
+				if back.Kind != KindSwitch || back.Switch != sw || back.Port != port {
+					t.Fatalf("asymmetric link (%d,%d)", sw, port)
+				}
+			case KindHost:
+				if hostSeen[end.Host] {
+					t.Fatalf("host %d attached twice", end.Host)
+				}
+				hostSeen[end.Host] = true
+				asw, aport := m.HostAttach(end.Host)
+				if asw != sw || aport != port {
+					t.Fatalf("HostAttach mismatch for host %d", end.Host)
+				}
+			}
+		}
+	}
+	if len(hostSeen) != m.NumHosts() {
+		t.Fatalf("%d hosts attached", len(hostSeen))
+	}
+	// Corner switch has exactly 2 mesh neighbors.
+	neighbors := 0
+	for port := 0; port < 4; port++ {
+		if m.Peer(0, port).Kind == KindSwitch {
+			neighbors++
+		}
+	}
+	if neighbors != 2 {
+		t.Fatalf("corner neighbors = %d", neighbors)
+	}
+	if m.Peer(0, 99).Kind != KindNone {
+		t.Fatal("bogus port wired")
+	}
+}
+
+// walkMesh follows a route through the wiring.
+func walkMesh(m *Mesh, src int, route pkt.Route) int {
+	sw, _ := m.HostAttach(src)
+	for i, turn := range route {
+		end := m.Peer(sw, int(turn))
+		switch end.Kind {
+		case KindHost:
+			if i != len(route)-1 {
+				return -1
+			}
+			return end.Host
+		case KindSwitch:
+			sw = end.Switch
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func TestMeshRoutesAllPairs(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if src == dst {
+				if _, err := m.Route(src, dst); err == nil {
+					t.Fatal("self route accepted")
+				}
+				continue
+			}
+			route, err := m.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := walkMesh(m, src, route); got != dst {
+				t.Fatalf("route %d→%d delivered to %d", src, dst, got)
+			}
+			// Minimal length: Manhattan distance + host hop.
+			sx, sy := m.XY(src)
+			dx, dy := m.XY(dst)
+			manhattan := abs(sx-dx) + abs(sy-dy)
+			if len(route) != manhattan+1 {
+				t.Fatalf("route %d→%d length %d, want %d", src, dst, len(route), manhattan+1)
+			}
+		}
+	}
+	if _, err := m.Route(-1, 3); err == nil {
+		t.Error("negative src accepted")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Dimension-order routing gives RECN its required property: the
+// remaining path from any switch to a destination is unique. Verified
+// by checking routes against the memoryless NextPort decision.
+func TestMeshRouteMatchesNextPort(t *testing.T) {
+	m, _ := NewMesh(6, 5)
+	f := func(aU, bU uint16) bool {
+		src, dst := int(aU)%30, int(bU)%30
+		if src == dst {
+			return true
+		}
+		route, err := m.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		sw, _ := m.HostAttach(src)
+		for _, turn := range route {
+			if m.NextPort(sw, dst) != turn {
+				return false
+			}
+			end := m.Peer(sw, int(turn))
+			if end.Kind == KindSwitch {
+				sw = end.Switch
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshHostAttachPanics(t *testing.T) {
+	m, _ := NewMesh(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	m.HostAttach(9)
+}

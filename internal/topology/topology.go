@@ -1,0 +1,313 @@
+// Package topology builds the bidirectional multistage interconnection
+// networks (MINs) used in the paper's evaluation and computes the
+// deterministic, destination-based routes RECN relies on.
+//
+// The networks are perfect-shuffle bidirectional MINs, i.e. k-ary
+// n-trees: n levels of switches, each with k down ports (toward hosts)
+// and k up ports. The paper's three configurations map to:
+//
+//	64 hosts  → 4-ary 3-tree:           3 stages × 16 switches = 48
+//	256 hosts → 4-ary 4-tree:           4 stages × 64 switches = 256
+//	512 hosts → mixed-radix 5-stage:    5 stages × 128 switches = 640
+//
+// 512 is not a power of 4, so the 512-host network generalizes the tree
+// to mixed radices (4,4,4,4,2): the top stage only needs a radix-2
+// digit, matching the paper's 640 8-port switches in 5 stages (top-level
+// switches leave ports unused, as any 512-port 5-stage 8-port-switch
+// MIN must).
+//
+// Deterministic routing is the destination-based self-routing the paper
+// assumes: a packet ascends until it reaches an ancestor of its
+// destination, choosing at level l the up port given by the
+// destination's l-th digit, then descends following the destination's
+// digits. Consequently the remaining path from any switch to a given
+// destination is unique — the property RECN's CAM path encoding needs.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+)
+
+// Kind discriminates what a switch port connects to.
+type Kind int
+
+const (
+	// KindNone marks an unused port (top-level up ports, and unused
+	// ports on mixed-radix stages).
+	KindNone Kind = iota
+	// KindHost means the port connects to a host NIC.
+	KindHost
+	// KindSwitch means the port connects to another switch.
+	KindSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindSwitch:
+		return "switch"
+	default:
+		return "none"
+	}
+}
+
+// End identifies the far side of a link: a host, or a (switch, port)
+// pair, or nothing.
+type End struct {
+	Kind Kind
+	// Host is the host ID when Kind == KindHost.
+	Host int
+	// Switch and Port identify the peer when Kind == KindSwitch.
+	Switch int
+	Port   int
+}
+
+// Topology is an immutable description of one network instance.
+type Topology struct {
+	radices []int // digit radix per level, r[0] at the leaves
+	k       int   // max radix = half the switch port count
+	levels  int
+	hosts   int
+	perLvl  int // switches per level
+	// placeValue[i] = product of radices below digit i (host digits).
+	placeValue []int
+	// swPlace[i] = place value of switch digit i (radix radices[i+1]).
+	swPlace []int
+}
+
+// NewKAryNTree builds a uniform k-ary n-tree with k^n hosts.
+func NewKAryNTree(k, n int) (*Topology, error) {
+	if k < 2 || n < 1 {
+		return nil, fmt.Errorf("topology: invalid k-ary n-tree (k=%d, n=%d)", k, n)
+	}
+	r := make([]int, n)
+	for i := range r {
+		r[i] = k
+	}
+	return NewMixedTree(r)
+}
+
+// NewMixedTree builds a tree with per-level digit radices. radices[0]
+// is the leaf level (hosts per leaf switch); the product of all radices
+// is the host count. Every radix must be ≥ 2 except the top, which may
+// be ≥ 1... in practice ≥ 2 to be a real stage.
+func NewMixedTree(radices []int) (*Topology, error) {
+	if len(radices) == 0 {
+		return nil, fmt.Errorf("topology: no radices")
+	}
+	k := 0
+	hosts := 1
+	for i, r := range radices {
+		if r < 2 {
+			return nil, fmt.Errorf("topology: radix %d at level %d (must be ≥ 2)", r, i)
+		}
+		if r > k {
+			k = r
+		}
+		hosts *= r
+	}
+	if k > 127 {
+		return nil, fmt.Errorf("topology: radix %d too large for turn encoding", k)
+	}
+	t := &Topology{
+		radices: append([]int(nil), radices...),
+		k:       k,
+		levels:  len(radices),
+		hosts:   hosts,
+		perLvl:  hosts / radices[0],
+	}
+	t.placeValue = make([]int, t.levels)
+	pv := 1
+	for i := 0; i < t.levels; i++ {
+		t.placeValue[i] = pv
+		pv *= t.radices[i]
+	}
+	t.swPlace = make([]int, t.levels-1)
+	pv = 1
+	for i := 0; i < t.levels-1; i++ {
+		t.swPlace[i] = pv
+		pv *= t.radices[i+1]
+	}
+	return t, nil
+}
+
+// ForHosts returns the paper's network for a given host count:
+// 64, 256 and 512 map to the three evaluated configurations. Other
+// powers of 4 build uniform 4-ary trees.
+func ForHosts(hosts int) (*Topology, error) {
+	switch hosts {
+	case 64:
+		return NewKAryNTree(4, 3)
+	case 256:
+		return NewKAryNTree(4, 4)
+	case 512:
+		return NewMixedTree([]int{4, 4, 4, 4, 2})
+	}
+	// Accept any power of 4 for flexibility (16, 1024, ...).
+	n := 0
+	for v := hosts; v > 1; v /= 4 {
+		if v%4 != 0 {
+			return nil, fmt.Errorf("topology: unsupported host count %d (want 64, 256, 512 or a power of 4)", hosts)
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("topology: unsupported host count %d", hosts)
+	}
+	return NewKAryNTree(4, n)
+}
+
+// NumHosts returns the number of hosts (network endpoints).
+func (t *Topology) NumHosts() int { return t.hosts }
+
+// NumSwitches returns the total switch count across all stages.
+func (t *Topology) NumSwitches() int { return t.levels * t.perLvl }
+
+// Levels returns the number of switch stages.
+func (t *Topology) Levels() int { return t.levels }
+
+// SwitchesPerLevel returns the number of switches in each stage.
+func (t *Topology) SwitchesPerLevel() int { return t.perLvl }
+
+// PortsPerSwitch returns the (maximum) number of bidirectional ports on
+// a switch: k down + k up. Ports are numbered 0..k-1 (down) and
+// k..2k-1 (up); some may be unused on mixed-radix stages.
+func (t *Topology) PortsPerSwitch() int { return 2 * t.k }
+
+// K returns half the switch radix (the down-port count of a full stage).
+func (t *Topology) K() int { return t.k }
+
+// SwitchID maps (level, index) to a global switch ID.
+func (t *Topology) SwitchID(level, idx int) int { return level*t.perLvl + idx }
+
+// SwitchLevel returns the stage of a switch (0 = leaf stage).
+func (t *Topology) SwitchLevel(id int) int { return id / t.perLvl }
+
+// SwitchIndex returns the within-stage index of a switch.
+func (t *Topology) SwitchIndex(id int) int { return id % t.perLvl }
+
+// DownPorts returns how many down ports are used at a given level.
+func (t *Topology) DownPorts(level int) int { return t.radices[level] }
+
+// UpPorts returns how many up ports are used at a given level (0 at the
+// top stage).
+func (t *Topology) UpPorts(level int) int {
+	if level >= t.levels-1 {
+		return 0
+	}
+	return t.radices[level+1]
+}
+
+// hostDigit extracts digit i (radix radices[i]) of host h.
+func (t *Topology) hostDigit(h, i int) int {
+	return h / t.placeValue[i] % t.radices[i]
+}
+
+// swDigit extracts digit i (radix radices[i+1]) of switch index w.
+func (t *Topology) swDigit(w, i int) int {
+	return w / t.swPlace[i] % t.radices[i+1]
+}
+
+// swSetDigit returns w with digit i replaced by v.
+func (t *Topology) swSetDigit(w, i, v int) int {
+	return w + (v-t.swDigit(w, i))*t.swPlace[i]
+}
+
+// HostAttach returns the leaf switch and down port a host connects to.
+func (t *Topology) HostAttach(h int) (sw, port int) {
+	if h < 0 || h >= t.hosts {
+		panic(fmt.Sprintf("topology: host %d out of range", h))
+	}
+	return t.SwitchID(0, h/t.radices[0]), t.hostDigit(h, 0)
+}
+
+// Peer returns what the given switch port connects to.
+func (t *Topology) Peer(sw, port int) End {
+	level, w := t.SwitchLevel(sw), t.SwitchIndex(sw)
+	if port < t.k { // down port
+		c := port
+		if c >= t.radices[level] {
+			return End{Kind: KindNone}
+		}
+		if level == 0 {
+			return End{Kind: KindHost, Host: w*t.radices[0] + c}
+		}
+		// Down port c of sw(level, w) ↔ up port (k + w_{level-1}) of
+		// sw(level-1, w[level-1 := c]).
+		peer := t.SwitchID(level-1, t.swSetDigit(w, level-1, c))
+		return End{Kind: KindSwitch, Switch: peer, Port: t.k + t.swDigit(w, level-1)}
+	}
+	// Up port.
+	j := port - t.k
+	if level == t.levels-1 || j >= t.radices[level+1] {
+		return End{Kind: KindNone}
+	}
+	// Up port j of sw(level, w) ↔ down port w_level of
+	// sw(level+1, w[level := j]).
+	peer := t.SwitchID(level+1, t.swSetDigit(w, level, j))
+	return End{Kind: KindSwitch, Switch: peer, Port: t.swDigit(w, level)}
+}
+
+// isAncestor reports whether switch (level, w) is an ancestor of host d,
+// i.e. the host is reachable purely descending.
+func (t *Topology) isAncestor(level, w, d int) bool {
+	for i := level; i < t.levels-1; i++ {
+		if t.swDigit(w, i) != t.hostDigit(d, i+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Route computes the deterministic source route from src to dst: the
+// output port index to take at each switch hop. src and dst must differ.
+func (t *Topology) Route(src, dst int) (pkt.Route, error) {
+	if src == dst {
+		return nil, fmt.Errorf("topology: route from host %d to itself", src)
+	}
+	if src < 0 || src >= t.hosts || dst < 0 || dst >= t.hosts {
+		return nil, fmt.Errorf("topology: route %d→%d out of range (hosts=%d)", src, dst, t.hosts)
+	}
+	// L = highest digit where src and dst differ: the LCA stage.
+	l := 0
+	for i := t.levels - 1; i >= 0; i-- {
+		if t.hostDigit(src, i) != t.hostDigit(dst, i) {
+			l = i
+			break
+		}
+	}
+	route := make(pkt.Route, 0, 2*l+1)
+	for lvl := 0; lvl < l; lvl++ {
+		route = append(route, pkt.Turn(t.k+t.upDigit(dst, lvl)))
+	}
+	for lvl := l; lvl >= 0; lvl-- {
+		route = append(route, pkt.Turn(t.hostDigit(dst, lvl)))
+	}
+	return route, nil
+}
+
+// upDigit is the deterministic up-port choice at a given level for a
+// destination: the destination's digit at that level, folded into the
+// level's up-port range when radices differ (mixed-radix stages).
+func (t *Topology) upDigit(dst, level int) int {
+	return t.hostDigit(dst, level) % t.radices[level+1]
+}
+
+// NextPort returns the memoryless routing decision at a switch for a
+// destination host: the output port a packet to dst must take. RECN
+// relies on this being a function of (switch, dst) only.
+func (t *Topology) NextPort(sw, dst int) pkt.Turn {
+	level, w := t.SwitchLevel(sw), t.SwitchIndex(sw)
+	if t.isAncestor(level, w, dst) {
+		return pkt.Turn(t.hostDigit(dst, level))
+	}
+	return pkt.Turn(t.k + t.upDigit(dst, level))
+}
+
+func (t *Topology) String() string {
+	return fmt.Sprintf("MIN %d×%d (%d stages × %d switches, radices %v)",
+		t.hosts, t.hosts, t.levels, t.perLvl, t.radices)
+}

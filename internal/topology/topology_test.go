@@ -1,0 +1,360 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+)
+
+func mustTopo(t *testing.T, hosts int) *Topology {
+	t.Helper()
+	topo, err := ForHosts(hosts)
+	if err != nil {
+		t.Fatalf("ForHosts(%d): %v", hosts, err)
+	}
+	return topo
+}
+
+func TestPaperConfigurations(t *testing.T) {
+	cases := []struct {
+		hosts, switches, levels, perLevel int
+	}{
+		{64, 48, 3, 16},    // 64×64: 48 switches, 3 stages
+		{256, 256, 4, 64},  // 256×256: 256 switches, 4 stages
+		{512, 640, 5, 128}, // 512×512: 640 switches, 5 stages
+	}
+	for _, c := range cases {
+		topo := mustTopo(t, c.hosts)
+		if topo.NumHosts() != c.hosts {
+			t.Errorf("%d hosts: NumHosts=%d", c.hosts, topo.NumHosts())
+		}
+		if topo.NumSwitches() != c.switches {
+			t.Errorf("%d hosts: NumSwitches=%d, want %d", c.hosts, topo.NumSwitches(), c.switches)
+		}
+		if topo.Levels() != c.levels {
+			t.Errorf("%d hosts: Levels=%d, want %d", c.hosts, topo.Levels(), c.levels)
+		}
+		if topo.SwitchesPerLevel() != c.perLevel {
+			t.Errorf("%d hosts: SwitchesPerLevel=%d, want %d", c.hosts, topo.SwitchesPerLevel(), c.perLevel)
+		}
+		if topo.PortsPerSwitch() != 8 {
+			t.Errorf("%d hosts: PortsPerSwitch=%d, want 8", c.hosts, topo.PortsPerSwitch())
+		}
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := ForHosts(100); err == nil {
+		t.Error("ForHosts(100) succeeded, want error")
+	}
+	if _, err := ForHosts(0); err == nil {
+		t.Error("ForHosts(0) succeeded, want error")
+	}
+	if _, err := NewKAryNTree(1, 3); err == nil {
+		t.Error("NewKAryNTree(1,3) succeeded, want error")
+	}
+	if _, err := NewMixedTree(nil); err == nil {
+		t.Error("NewMixedTree(nil) succeeded, want error")
+	}
+	if _, err := NewMixedTree([]int{4, 1}); err == nil {
+		t.Error("NewMixedTree with radix 1 succeeded, want error")
+	}
+	if _, err := NewMixedTree([]int{200}); err == nil {
+		t.Error("NewMixedTree with radix 200 succeeded, want error")
+	}
+}
+
+func TestForHostsPowerOfFour(t *testing.T) {
+	topo, err := ForHosts(16)
+	if err != nil {
+		t.Fatalf("ForHosts(16): %v", err)
+	}
+	if topo.NumSwitches() != 8 || topo.Levels() != 2 {
+		t.Errorf("16 hosts: %d switches, %d levels", topo.NumSwitches(), topo.Levels())
+	}
+}
+
+// Every switch-to-switch link must be consistent in both directions, and
+// host attachments must be a bijection.
+func TestLinkConsistency(t *testing.T) {
+	for _, hosts := range []int{64, 256, 512} {
+		topo := mustTopo(t, hosts)
+		seenHosts := make(map[int]bool)
+		for sw := 0; sw < topo.NumSwitches(); sw++ {
+			for port := 0; port < topo.PortsPerSwitch(); port++ {
+				end := topo.Peer(sw, port)
+				switch end.Kind {
+				case KindNone:
+					continue
+				case KindHost:
+					if seenHosts[end.Host] {
+						t.Fatalf("hosts=%d: host %d attached twice", hosts, end.Host)
+					}
+					seenHosts[end.Host] = true
+					asw, aport := topo.HostAttach(end.Host)
+					if asw != sw || aport != port {
+						t.Fatalf("hosts=%d: HostAttach(%d)=(%d,%d), Peer says (%d,%d)",
+							hosts, end.Host, asw, aport, sw, port)
+					}
+				case KindSwitch:
+					back := topo.Peer(end.Switch, end.Port)
+					if back.Kind != KindSwitch || back.Switch != sw || back.Port != port {
+						t.Fatalf("hosts=%d: link not symmetric: (%d,%d)→(%d,%d)→(%v)",
+							hosts, sw, port, end.Switch, end.Port, back)
+					}
+					// Links only connect adjacent stages.
+					l1, l2 := topo.SwitchLevel(sw), topo.SwitchLevel(end.Switch)
+					if l2-l1 != 1 && l1-l2 != 1 {
+						t.Fatalf("hosts=%d: link spans stages %d and %d", hosts, l1, l2)
+					}
+				}
+			}
+		}
+		if len(seenHosts) != hosts {
+			t.Fatalf("hosts=%d: only %d hosts attached", hosts, len(seenHosts))
+		}
+	}
+}
+
+// walk follows a route hop by hop through the wiring and returns the
+// host it is delivered to (or -1 on any inconsistency).
+func walk(topo *Topology, src int, route pkt.Route) int {
+	sw, _ := topo.HostAttach(src)
+	for i, turn := range route {
+		end := topo.Peer(sw, int(turn))
+		switch end.Kind {
+		case KindHost:
+			if i != len(route)-1 {
+				return -1 // delivered early
+			}
+			return end.Host
+		case KindSwitch:
+			sw = end.Switch
+		default:
+			return -1 // dangling port
+		}
+	}
+	return -1 // route exhausted without delivery
+}
+
+func TestRoutesDeliverAllPairs64(t *testing.T) {
+	topo := mustTopo(t, 64)
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			if src == dst {
+				if _, err := topo.Route(src, dst); err == nil {
+					t.Fatalf("Route(%d,%d) to self succeeded", src, dst)
+				}
+				continue
+			}
+			route, err := topo.Route(src, dst)
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", src, dst, err)
+			}
+			if got := walk(topo, src, route); got != dst {
+				t.Fatalf("Route(%d,%d)=%v delivered to %d", src, dst, route, got)
+			}
+			// Up/down path shape: a prefix of up turns, then downs.
+			downSeen := false
+			for _, turn := range route {
+				up := int(turn) >= topo.K()
+				if up && downSeen {
+					t.Fatalf("Route(%d,%d)=%v ascends after descending", src, dst, route)
+				}
+				if !up {
+					downSeen = true
+				}
+			}
+		}
+	}
+}
+
+func TestRoutesDeliverSampled(t *testing.T) {
+	for _, hosts := range []int{256, 512} {
+		topo := mustTopo(t, hosts)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 3000; i++ {
+			src := rng.Intn(hosts)
+			dst := rng.Intn(hosts)
+			if src == dst {
+				continue
+			}
+			route, err := topo.Route(src, dst)
+			if err != nil {
+				t.Fatalf("hosts=%d Route(%d,%d): %v", hosts, src, dst, err)
+			}
+			if got := walk(topo, src, route); got != dst {
+				t.Fatalf("hosts=%d Route(%d,%d)=%v delivered to %d", hosts, src, dst, route, got)
+			}
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	topo := mustTopo(t, 64)
+	if _, err := topo.Route(-1, 5); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := topo.Route(0, 64); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+}
+
+// The property RECN depends on: the remaining path to a destination is a
+// function of the current switch only. We verify that routes agree with
+// the memoryless NextPort decision at every hop.
+func TestRouteMatchesNextPort(t *testing.T) {
+	for _, hosts := range []int{64, 512} {
+		topo := mustTopo(t, hosts)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			src, dst := rng.Intn(hosts), rng.Intn(hosts)
+			if src == dst {
+				continue
+			}
+			route, err := topo.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw, _ := topo.HostAttach(src)
+			for hop, turn := range route {
+				if np := topo.NextPort(sw, dst); np != turn {
+					t.Fatalf("hosts=%d %d→%d hop %d at switch %d: route turn %d, NextPort %d",
+						hosts, src, dst, hop, sw, turn, np)
+				}
+				end := topo.Peer(sw, int(turn))
+				if end.Kind == KindSwitch {
+					sw = end.Switch
+				}
+			}
+		}
+	}
+}
+
+// Uniqueness of remaining paths: two routes to the same destination that
+// meet at a switch must coincide from that point on.
+func TestQuickRemainingPathUnique(t *testing.T) {
+	topo := mustTopo(t, 64)
+	f := func(aU, bU, dU uint8) bool {
+		a, b, d := int(aU)%64, int(bU)%64, int(dU)%64
+		if a == d || b == d {
+			return true
+		}
+		ra, _ := topo.Route(a, d)
+		rb, _ := topo.Route(b, d)
+		// Trace both and record (switch → remaining route suffix).
+		suffix := make(map[int]string)
+		trace := func(src int, r pkt.Route) bool {
+			sw, _ := topo.HostAttach(src)
+			for hop := range r {
+				rem := string(r[hop:])
+				if prev, ok := suffix[sw]; ok && prev != rem {
+					return false
+				}
+				suffix[sw] = rem
+				end := topo.Peer(sw, int(r[hop]))
+				if end.Kind == KindSwitch {
+					sw = end.Switch
+				}
+			}
+			return true
+		}
+		return trace(a, ra) && trace(b, rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteLengths(t *testing.T) {
+	topo := mustTopo(t, 64)
+	// Hosts 0 and 1 share a leaf switch: a single down turn.
+	r, _ := topo.Route(0, 1)
+	if len(r) != 1 {
+		t.Errorf("Route(0,1) length %d, want 1", len(r))
+	}
+	// Hosts 0 and 63 differ in the top digit: full ascent + descent.
+	r, _ = topo.Route(0, 63)
+	if len(r) != 5 {
+		t.Errorf("Route(0,63) length %d, want 5", len(r))
+	}
+}
+
+// Deterministic destination-based ascent concentrates traffic: all
+// packets to the same destination use the same up-port index at a level.
+func TestDestinationBasedAscent(t *testing.T) {
+	topo := mustTopo(t, 64)
+	dst := 32
+	upAtLevel := map[int]pkt.Turn{}
+	for src := 0; src < 64; src++ {
+		if src == dst {
+			continue
+		}
+		route, _ := topo.Route(src, dst)
+		sw, _ := topo.HostAttach(src)
+		for _, turn := range route {
+			if int(turn) >= topo.K() {
+				lvl := topo.SwitchLevel(sw)
+				if prev, ok := upAtLevel[lvl]; ok && prev != turn {
+					t.Fatalf("destination %d uses up ports %d and %d at level %d", dst, prev, turn, lvl)
+				}
+				upAtLevel[lvl] = turn
+			}
+			end := topo.Peer(sw, int(turn))
+			if end.Kind == KindSwitch {
+				sw = end.Switch
+			}
+		}
+	}
+}
+
+func TestDownUpPortCounts(t *testing.T) {
+	topo := mustTopo(t, 512)
+	if topo.DownPorts(0) != 4 || topo.UpPorts(0) != 4 {
+		t.Errorf("level 0: down=%d up=%d", topo.DownPorts(0), topo.UpPorts(0))
+	}
+	if topo.UpPorts(3) != 2 { // below the radix-2 top stage
+		t.Errorf("level 3 up ports = %d, want 2", topo.UpPorts(3))
+	}
+	if topo.UpPorts(4) != 0 {
+		t.Errorf("top level up ports = %d, want 0", topo.UpPorts(4))
+	}
+	if topo.DownPorts(4) != 2 {
+		t.Errorf("top level down ports = %d, want 2", topo.DownPorts(4))
+	}
+}
+
+func TestHostAttachPanics(t *testing.T) {
+	topo := mustTopo(t, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("HostAttach(-1) did not panic")
+		}
+	}()
+	topo.HostAttach(-1)
+}
+
+func TestString(t *testing.T) {
+	topo := mustTopo(t, 64)
+	if topo.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkRoute64(b *testing.B) {
+	topo, _ := ForHosts(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = topo.Route(i%64, (i+17)%64)
+	}
+}
+
+func BenchmarkRoute512(b *testing.B) {
+	topo, _ := ForHosts(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = topo.Route(i%512, (i+211)%512)
+	}
+}

@@ -1,0 +1,72 @@
+// Package units centralizes bandwidth and size conversions used across
+// the simulator so that every component serializes bytes at consistent,
+// integer-exact rates.
+package units
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Rate is a link or crossbar bandwidth in bits per second.
+type Rate int64
+
+// Rates used by the paper's evaluation (Section 4.1).
+const (
+	Gbps Rate = 1_000_000_000
+
+	// LinkRate is the serial full-duplex link bandwidth (8 Gbps,
+	// i.e. exactly 1 byte per nanosecond).
+	LinkRate = 8 * Gbps
+
+	// CrossbarRate is the internal multiplexed crossbar bandwidth
+	// (12 Gbps, i.e. 1.5 bytes per nanosecond).
+	CrossbarRate = 12 * Gbps
+)
+
+// Sizes in bytes.
+const (
+	KiB = 1024
+
+	// PortMemory is the default data RAM per switch port (128 KB).
+	PortMemory = 128 * KiB
+
+	// PortMemoryLarge is used for the 512-host network under VOQnet,
+	// which needs 192 KB to hold one queue per destination.
+	PortMemoryLarge = 192 * KiB
+)
+
+func (r Rate) String() string {
+	if r%Gbps == 0 {
+		return fmt.Sprintf("%dGbps", int64(r/Gbps))
+	}
+	return fmt.Sprintf("%dbps", int64(r))
+}
+
+// Serialize returns the time to push size bytes through a channel of
+// this rate. The result is exact when the rate divides 8·10¹² evenly
+// (true for 8 and 12 Gbps) and rounded up otherwise so that modeled
+// components never transmit faster than their rate.
+func (r Rate) Serialize(size int) sim.Time {
+	if size < 0 {
+		panic(fmt.Sprintf("units: negative size %d", size))
+	}
+	if r <= 0 {
+		panic(fmt.Sprintf("units: nonpositive rate %d", int64(r)))
+	}
+	// ps = bytes * 8 bits/byte * 1e12 ps/s / rate bits/s.
+	const psPerSec = 1_000_000_000_000
+	num := int64(size) * 8 * psPerSec
+	t := num / int64(r)
+	if num%int64(r) != 0 {
+		t++
+	}
+	return sim.Time(t)
+}
+
+// BytesPerNano returns the rate expressed in bytes per nanosecond,
+// useful for reporting throughput in the paper's units (bytes/ns).
+func (r Rate) BytesPerNano() float64 {
+	return float64(r) / 8 / 1e9
+}

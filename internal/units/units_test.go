@@ -1,0 +1,97 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSerializeExactRates(t *testing.T) {
+	cases := []struct {
+		rate Rate
+		size int
+		want sim.Time
+	}{
+		{LinkRate, 64, 64 * sim.Nanosecond}, // 8 Gbps = 1 B/ns
+		{LinkRate, 512, 512 * sim.Nanosecond},
+		{LinkRate, 1, sim.Nanosecond},
+		{LinkRate, 0, 0},
+		{CrossbarRate, 64, sim.Time(64000 * 2 / 3)}, // 1.5 B/ns → 42666.67 rounded up
+		{CrossbarRate, 3, 2 * sim.Nanosecond},       // exactly 2 ns
+		{Gbps, 1, 8 * sim.Nanosecond},
+	}
+	for _, c := range cases {
+		got := c.rate.Serialize(c.size)
+		if c.rate == CrossbarRate && c.size == 64 {
+			// 64 B at 1.5 B/ns = 42666.66… ps, rounded up to 42667.
+			if got != 42667 {
+				t.Errorf("CrossbarRate.Serialize(64) = %d, want 42667", int64(got))
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v.Serialize(%d) = %v, want %v", c.rate, c.size, got, c.want)
+		}
+	}
+}
+
+func TestSerializeNeverFasterThanRate(t *testing.T) {
+	f := func(sz uint16) bool {
+		size := int(sz)
+		got := CrossbarRate.Serialize(size)
+		// Exact time is size*8e12/12e9 ps = size*2000/3.
+		exact := float64(size) * 2000.0 / 3.0
+		return float64(got) >= exact && float64(got) < exact+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeMonotonic(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return LinkRate.Serialize(x) <= LinkRate.Serialize(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative size":    func() { LinkRate.Serialize(-1) },
+		"nonpositive rate": func() { Rate(0).Serialize(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBytesPerNano(t *testing.T) {
+	if got := LinkRate.BytesPerNano(); got != 1.0 {
+		t.Errorf("LinkRate.BytesPerNano() = %v, want 1.0", got)
+	}
+	if got := CrossbarRate.BytesPerNano(); got != 1.5 {
+		t.Errorf("CrossbarRate.BytesPerNano() = %v, want 1.5", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := LinkRate.String(); got != "8Gbps" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Rate(1500).String(); got != "1500bps" {
+		t.Errorf("String() = %q", got)
+	}
+}

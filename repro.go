@@ -1,0 +1,363 @@
+// Package repro is a library-level reproduction of "A New Scalable and
+// Cost-Effective Congestion Management Strategy for Lossless Multistage
+// Interconnection Networks" (Duato, Johnson, Flich, Naven, García,
+// Nachiondo — HPCA 2005), the paper that introduced RECN.
+//
+// It bundles a picosecond-resolution discrete-event simulator of
+// perfect-shuffle bidirectional MINs (64–512 hosts of 8-port switches),
+// five queuing mechanisms (1Q, 4Q, VOQsw, VOQnet and RECN with
+// dynamically allocated set-aside queues), the paper's workloads, and
+// runners that regenerate every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	net, _ := repro.NewNetwork(64, repro.PolicyRECN)
+//	net.InjectMessage(3, 60, 64)
+//	net.Engine.Drain()
+//
+// Reproducing a figure:
+//
+//	tables, _ := repro.Reproduce("2a", repro.Options{Scale: 0.5})
+//	for _, t := range tables {
+//		fmt.Print(t)
+//	}
+package repro
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/pkt"
+	"repro/internal/recn"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Re-exported core types. The implementation lives in internal
+// packages; these aliases are the public surface.
+type (
+	// Network is a fully wired simulation instance.
+	Network = fabric.Network
+	// Config configures a Network.
+	Config = fabric.Config
+	// Policy selects the queuing mechanism.
+	Policy = fabric.Policy
+	// RECNConfig holds the RECN thresholds and SAQ limits.
+	RECNConfig = recn.Config
+	// Topology describes a multistage network.
+	Topology = topology.Topology
+	// Mesh is a 2D direct network (one host per switch, XY routing).
+	Mesh = topology.Mesh
+	// Time is simulation time in picoseconds.
+	Time = sim.Time
+	// Options tune figure reproduction runs.
+	Options = experiments.Options
+	// Table is an aligned text table of reproduced series.
+	Table = experiments.Table
+	// Result carries the measurements of a single run.
+	Result = experiments.Result
+	// Run describes one simulation of one mechanism.
+	Run = experiments.Run
+	// CornerCase is a Table 1 workload.
+	CornerCase = traffic.CornerCase
+	// Trace is a replayable message trace.
+	Trace = traffic.Trace
+	// Packet is a network packet (as seen by Network.OnDeliver).
+	Packet = pkt.Packet
+)
+
+// Queuing mechanisms (paper §4.3).
+const (
+	Policy1Q     = fabric.Policy1Q
+	Policy4Q     = fabric.Policy4Q
+	PolicyVOQsw  = fabric.PolicyVOQsw
+	PolicyVOQnet = fabric.PolicyVOQnet
+	PolicyRECN   = fabric.PolicyRECN
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Policies lists all mechanisms in the paper's presentation order.
+var Policies = fabric.Policies
+
+// ParsePolicy converts a mechanism name ("RECN", "1Q", …) to a Policy.
+func ParsePolicy(s string) (Policy, error) { return fabric.ParsePolicy(s) }
+
+// NewTopology builds the paper's network for 64, 256 or 512 hosts (or
+// any power of 4).
+func NewTopology(hosts int) (*Topology, error) { return topology.ForHosts(hosts) }
+
+// NewMesh builds a cols×rows 2D mesh (one host per switch, XY routing).
+// The paper notes RECN works on direct networks too; the same fabric
+// and controllers run unchanged on a mesh.
+func NewMesh(cols, rows int) (*Mesh, error) { return topology.NewMesh(cols, rows) }
+
+// NewMeshNetwork builds a mesh simulation with default parameters.
+func NewMeshNetwork(cols, rows int, policy Policy) (*Network, error) {
+	m, err := topology.NewMesh(cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fabric.DefaultConfig(m)
+	cfg.Policy = policy
+	return fabric.New(cfg)
+}
+
+// DefaultConfig returns the evaluation defaults for a topology.
+func DefaultConfig(t *Topology) Config { return fabric.DefaultConfig(t) }
+
+// NewNetwork builds a simulation of the paper's network with default
+// parameters and the given mechanism.
+func NewNetwork(hosts int, policy Policy) (*Network, error) {
+	topo, err := topology.ForHosts(hosts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fabric.DefaultConfig(topo)
+	cfg.Policy = policy
+	return fabric.New(cfg)
+}
+
+// NewNetworkConfig builds a simulation from an explicit configuration.
+func NewNetworkConfig(cfg Config) (*Network, error) { return fabric.New(cfg) }
+
+// Corner returns the paper's corner-case workload (Table 1 for 64
+// hosts, the Figure 6 variants for 256/512).
+func Corner(number, hosts, msgSize int, scale float64) (CornerCase, error) {
+	return traffic.Corner(number, hosts, msgSize, scale)
+}
+
+// InstallCorner installs a corner-case workload on a network.
+func InstallCorner(net *Network, c CornerCase) error {
+	return c.Install(adapter{net})
+}
+
+// InstallCello installs the SAN (cello model) workload on a network
+// with the given trace time-compression factor.
+func InstallCello(net *Network, compression float64) error {
+	return traffic.DefaultCello(compression).Install(adapter{net})
+}
+
+// adapter exposes a Network to the traffic generators.
+type adapter struct{ n *Network }
+
+func (a adapter) Hosts() int                  { return a.n.Topology().NumHosts() }
+func (a adapter) Now() Time                   { return a.n.Engine.Now() }
+func (a adapter) Schedule(at Time, fn func()) { a.n.Engine.Schedule(at, fn) }
+func (a adapter) Inject(src, dst, size int) {
+	if err := a.n.InjectMessage(src, dst, size); err != nil {
+		panic(err)
+	}
+}
+
+// GenerateCelloTrace synthesizes the cello-model SAN workload as a
+// replayable trace at time compression `compression`: message
+// generation is captured without simulating the fabric. A timesharing
+// system's I/O is sparse in real time, so at compression 1 a sub-ms
+// window records almost nothing — the paper (and this library) works
+// at compression 20–40. hosts selects the network size; seed makes it
+// reproducible. See DESIGN.md §5 for the model.
+func GenerateCelloTrace(hosts int, duration Time, compression float64, seed int64) (Trace, error) {
+	eng := sim.NewEngine()
+	rec := &traceRecorder{eng: eng, hosts: hosts}
+	c := traffic.DefaultCello(compression)
+	c.Duration = duration
+	c.Seed = seed
+	if err := c.Install(rec); err != nil {
+		return nil, err
+	}
+	eng.Drain()
+	rec.out.Sort()
+	return rec.out, nil
+}
+
+// traceRecorder is a traffic.Network that only records injections.
+type traceRecorder struct {
+	eng   *sim.Engine
+	hosts int
+	out   traffic.Trace
+}
+
+func (r *traceRecorder) Hosts() int                  { return r.hosts }
+func (r *traceRecorder) Now() Time                   { return r.eng.Now() }
+func (r *traceRecorder) Schedule(at Time, fn func()) { r.eng.Schedule(at, fn) }
+func (r *traceRecorder) Inject(src, dst, size int) {
+	r.out = append(r.out, traffic.Record{T: r.eng.Now(), Src: src, Dst: dst, Size: size})
+}
+
+// WriteTrace writes a trace in the recn-trace text format.
+func WriteTrace(w io.Writer, tr Trace) error { return traffic.WriteTrace(w, tr) }
+
+// ReadTrace parses the recn-trace text format.
+func ReadTrace(r io.Reader) (Trace, error) { return traffic.ReadTrace(r) }
+
+// ReplayTrace installs a trace on a network with the paper's time
+// compression factor.
+func ReplayTrace(net *Network, tr Trace, compression float64) error {
+	return traffic.Replay{Trace: tr, Compression: compression}.Install(adapter{net})
+}
+
+// Table1 reproduces the paper's Table 1.
+func Table1() *Table { return experiments.Table1() }
+
+// FigureIDs lists every reproducible experiment, in paper order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figureRunners))
+	for id := range figureRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+type figureRunner func(o Options) ([]*Table, error)
+
+var figureRunners = map[string]figureRunner{
+	"table1": func(o Options) ([]*Table, error) { return []*Table{experiments.Table1()}, nil },
+	"2a":     fig2Runner(1, 0),
+	"2b":     fig2Runner(2, 0),
+	"2c": func(o Options) ([]*Table, error) {
+		fig, err := experiments.Fig2(1, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Zoom(750, 1000, PolicyVOQnet, PolicyRECN)}, nil
+	},
+	"2d": func(o Options) ([]*Table, error) {
+		fig, err := experiments.Fig2(2, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Zoom(750, 1000, PolicyVOQnet, PolicyRECN)}, nil
+	},
+	"3a":      fig3Runner(20),
+	"3b":      fig3Runner(40),
+	"4a":      fig4Runner(1),
+	"4b":      fig4Runner(2),
+	"5a":      fig5Runner(20),
+	"5b":      fig5Runner(40),
+	"6a":      fig6Runner(256),
+	"6b":      fig6Runner(512),
+	"pkt512a": fig2Runner(1, 512),
+	"pkt512b": fig2Runner(2, 512),
+	"a1": func(o Options) ([]*Table, error) {
+		t, err := experiments.AblationSAQCount(o, nil)
+		return []*Table{t}, err
+	},
+	"a2": func(o Options) ([]*Table, error) {
+		t, err := experiments.AblationThreshold(o, nil)
+		return []*Table{t}, err
+	},
+	"a3": func(o Options) ([]*Table, error) {
+		t, err := experiments.AblationTokenBoost(o)
+		return []*Table{t}, err
+	},
+	"a4": func(o Options) ([]*Table, error) {
+		t, err := experiments.AblationMarkers(o)
+		return []*Table{t}, err
+	},
+	"lat1": func(o Options) ([]*Table, error) {
+		t, err := experiments.LatencyFig(1, o)
+		return []*Table{t}, err
+	},
+	"lat2": func(o Options) ([]*Table, error) {
+		t, err := experiments.LatencyFig(2, o)
+		return []*Table{t}, err
+	},
+}
+
+func fig2Runner(corner, pktSize int) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		if pktSize != 0 {
+			o.PacketSize = pktSize
+		}
+		fig, err := experiments.Fig2(corner, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig3Runner(cf float64) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		fig, err := experiments.Fig3(cf, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig4Runner(corner int) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		fig, err := experiments.Fig4(corner, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig5Runner(cf float64) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		fig, err := experiments.Fig5(cf, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig6Runner(hosts int) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		tput, saq, err := experiments.Fig6(hosts, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{tput.Table(), saq.Table()}, nil
+	}
+}
+
+// SweepSAQs runs the SAQ-count ablation over an explicit list of
+// per-port SAQ counts.
+func SweepSAQs(o Options, counts []int) ([]*Table, error) {
+	t, err := experiments.AblationSAQCount(o, counts)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// SweepThresholds runs the detection-threshold ablation over an
+// explicit list of byte thresholds.
+func SweepThresholds(o Options, detectBytes []int) ([]*Table, error) {
+	t, err := experiments.AblationThreshold(o, detectBytes)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// Reproduce regenerates one of the paper's tables or figures by ID
+// ("table1", "2a"–"2d", "3a"/"3b", "4a"/"4b", "5a"/"5b", "6a"/"6b",
+// "pkt512a"/"pkt512b", ablations "a1"–"a4", and the latency extension
+// "lat1"/"lat2"). Options.Scale trades fidelity for speed; 1.0
+// reproduces the paper's durations.
+func Reproduce(id string, o Options) ([]*Table, error) {
+	runner, ok := figureRunners[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown figure %q (have %s)", id, strings.Join(FigureIDs(), ", "))
+	}
+	return runner(o)
+}
