@@ -61,7 +61,10 @@ func reportFig(b *testing.B, fig *experiments.FigThroughput) {
 
 func BenchmarkTable1CornerCases(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := Table1()
+		tab, err := Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			printTables(b, []*Table{tab})
 		}

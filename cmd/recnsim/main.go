@@ -31,33 +31,36 @@ func main() {
 		rows   = flag.Int("rows", 40, "max table rows")
 		quiet  = flag.Bool("q", false, "suppress timing output")
 		format = flag.String("format", "text", "output format: text or csv")
+		faults = flag.String("faults", "", "fault-injection spec, e.g. 'seed=1,drop=token:2,droprate=credit:0.01,flap=0:4:100us:140us' (recovery watchdogs enabled; accounting printed in table notes)")
 	)
 	flag.Parse()
 
+	opts := repro.Options{
+		Scale:      *scale,
+		PacketSize: *pkt,
+		MaxRows:    *rows,
+		FaultSpec:  *faults,
+	}
 	switch {
 	case *list:
 		fmt.Println(strings.Join(repro.FigureIDs(), "\n"))
 		return
 	case *all:
 		for _, id := range repro.FigureIDs() {
-			runOne(id, *scale, *pkt, *rows, *quiet, *format)
+			runOne(id, opts, *quiet, *format)
 		}
 		return
 	case *fig != "":
-		runOne(*fig, *scale, *pkt, *rows, *quiet, *format)
+		runOne(*fig, opts, *quiet, *format)
 		return
 	}
 	flag.Usage()
 	os.Exit(2)
 }
 
-func runOne(id string, scale float64, pkt, rows int, quiet bool, format string) {
+func runOne(id string, opts repro.Options, quiet bool, format string) {
 	start := time.Now()
-	tables, err := repro.Reproduce(id, repro.Options{
-		Scale:      scale,
-		PacketSize: pkt,
-		MaxRows:    rows,
-	})
+	tables, err := repro.Reproduce(id, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recnsim: %s: %v\n", id, err)
 		os.Exit(1)
@@ -74,6 +77,6 @@ func runOne(id string, scale float64, pkt, rows int, quiet bool, format string) 
 		fmt.Println()
 	}
 	if !quiet {
-		fmt.Printf("# %s done in %v (scale %.2f)\n\n", id, time.Since(start).Round(time.Millisecond), scale)
+		fmt.Printf("# %s done in %v (scale %.2f)\n\n", id, time.Since(start).Round(time.Millisecond), opts.Scale)
 	}
 }

@@ -1,0 +1,96 @@
+package cam
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// decodePaths turns a fuzz byte string into a list of paths using a
+// length-prefixed encoding: each path is one length byte L (masked to
+// 0–7 turns) followed by L turn bytes. Decoding stops when the input
+// runs out.
+func decodePaths(b []byte) []pkt.Path {
+	var paths []pkt.Path
+	for len(b) > 0 {
+		l := int(b[0]) % 8
+		b = b[1:]
+		if l > len(b) {
+			l = len(b)
+		}
+		turns := make([]pkt.Turn, l)
+		for i := 0; i < l; i++ {
+			turns[i] = b[i]
+		}
+		b = b[l:]
+		paths = append(paths, pkt.PathOf(turns...))
+	}
+	return paths
+}
+
+// FuzzMatch checks the CAM's longest-prefix match against a brute-force
+// reference: for any set of allocated paths and any (route, hop), the
+// selected line must hold a path that is a prefix of the remaining
+// route, no strictly longer allocated path may also be a prefix, and a
+// miss must mean no allocated path matches at all.
+func FuzzMatch(f *testing.F) {
+	f.Add([]byte{2, 1, 3, 1, 1, 3, 1, 3, 2}, []byte{1, 3, 2, 4}, 0)
+	f.Add([]byte{0, 1, 5}, []byte{5, 5, 5}, 1)
+	f.Add([]byte{3, 2, 2, 2, 2, 2, 2}, []byte{2, 2, 2}, 0)
+	f.Add([]byte{}, []byte{1}, 0)
+	f.Add([]byte{7, 9, 9, 9, 9, 9, 9, 9}, []byte{9, 9, 9, 9, 9, 9, 9, 9}, 3)
+
+	f.Fuzz(func(t *testing.T, pathBytes, routeBytes []byte, hop int) {
+		tab := New(8)
+		allocated := 0
+		for _, p := range decodePaths(pathBytes) {
+			if _, ok := tab.Lookup(p); ok {
+				continue // Allocate panics on duplicates by contract
+			}
+			if _, ok := tab.Allocate(p); !ok {
+				break // CAM full
+			}
+			allocated++
+		}
+		if tab.Used() != allocated {
+			t.Fatalf("Used() = %d after %d allocations", tab.Used(), allocated)
+		}
+
+		route := make(pkt.Route, len(routeBytes))
+		for i, b := range routeBytes {
+			route[i] = b
+		}
+		if hop < 0 {
+			hop = -hop
+		}
+		if len(route) > 0 {
+			hop %= len(route) + 1
+		} else {
+			hop = 0
+		}
+
+		// Brute-force reference: longest valid line matching the route.
+		bestLen := -1
+		tab.ForEach(func(id int, p pkt.Path) {
+			if p.MatchesRoute(route, hop) && p.Len() > bestLen {
+				bestLen = p.Len()
+			}
+		})
+
+		id, ok := tab.Match(route, hop)
+		if ok != (bestLen >= 0) {
+			t.Fatalf("Match = %v, brute force best length %d", ok, bestLen)
+		}
+		if !ok {
+			return
+		}
+		got := tab.Path(id)
+		if !got.MatchesRoute(route, hop) {
+			t.Fatalf("Match returned line %d (%v), which does not match route %v at hop %d",
+				id, got, route, hop)
+		}
+		if got.Len() != bestLen {
+			t.Fatalf("Match returned length %d, brute force found %d", got.Len(), bestLen)
+		}
+	})
+}

@@ -17,7 +17,10 @@ func quickOpts() Options {
 }
 
 func TestTable1(t *testing.T) {
-	tab := Table1()
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := tab.String()
 	for _, want := range []string{"48", "16", "random", "32", "50%", "100%", "800"} {
 		if !strings.Contains(s, want) {

@@ -20,6 +20,11 @@ type Options struct {
 	MaxRows int
 	// Policies overrides the mechanism list where applicable.
 	Policies []fabric.Policy
+	// FaultSpec, if non-empty, injects faults into every run (see
+	// fault.ParsePlan for the syntax) with the default recovery layer
+	// enabled; the per-run fault/recovery accounting is appended to the
+	// figure's table notes.
+	FaultSpec string
 }
 
 func (o Options) withDefaults() Options {
@@ -124,7 +129,12 @@ func (f *FigThroughput) window(from, to int) *Table {
 	if from < 0 {
 		from = 0
 	}
-	t := &Table{Title: f.Title, Notes: f.notesList}
+	t := &Table{Title: f.Title, Notes: append([]string(nil), f.notesList...)}
+	for i, p := range f.Policies {
+		if fr := f.Results[i].Faults; fr != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("faults[%s]: %s", p, fr))
+		}
+	}
 	t.Header = []string{"time_us"}
 	for _, p := range f.Policies {
 		t.Header = append(t.Header, p.String()+"_B/ns")
@@ -176,12 +186,16 @@ func (f *FigSAQ) Table() *Table {
 	}
 	p := f.Result.SAQ.Peak()
 	t.Notes = append(t.Notes, fmt.Sprintf("peak: max_ingress=%d max_egress=%d total=%d", p.MaxIngress, p.MaxEgress, p.Total))
+	if fr := f.Result.Faults; fr != nil {
+		t.Notes = append(t.Notes, "faults: "+fr.String())
+	}
 	return t
 }
 
 // Table1 reproduces the paper's Table 1 (corner-case traffic
-// parameters).
-func Table1() *Table {
+// parameters). A bad corner spec is reported, not panicked, so a sweep
+// loses one table instead of the whole process.
+func Table1() (*Table, error) {
 	t := &Table{
 		Title:  "Table 1: traffic parameters for corner cases (64 hosts)",
 		Header: []string{"case", "#srcs", "dst", "inj_rate", "start", "end"},
@@ -189,12 +203,12 @@ func Table1() *Table {
 	for _, n := range []int{1, 2} {
 		c, err := traffic.Corner(n, 64, 64, 1.0)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: corner case %d: %w", n, err)
 		}
 		t.AddRow(n, len(c.RandomSources), "random", fmt.Sprintf("%.0f%%", c.RandomRate*100), "0", "sim end")
 		t.AddRow(n, len(c.HotSources), c.HotDest, "100%", c.HotStart.String(), c.HotEnd.String())
 	}
-	return t
+	return t, nil
 }
 
 // defaultPolicies is the order the paper presents mechanisms in
@@ -204,7 +218,7 @@ var defaultPolicies = []fabric.Policy{
 }
 
 // runPolicies executes one workload under several mechanisms.
-func runPolicies(hosts int, policies []fabric.Policy, pktSize int,
+func runPolicies(hosts int, policies []fabric.Policy, o Options,
 	workload func(traffic.Network) error, until sim.Time,
 	mutate func(*fabric.Config)) ([]*Result, sim.Time, error) {
 	bin := until / 160
@@ -216,11 +230,12 @@ func runPolicies(hosts int, policies []fabric.Policy, pktSize int,
 		r := Run{
 			Hosts:      hosts,
 			Policy:     p,
-			PacketSize: pktSize,
+			PacketSize: o.PacketSize,
 			Workload:   workload,
 			Until:      until,
 			Bin:        bin,
 			Mutate:     mutate,
+			FaultSpec:  o.FaultSpec,
 		}
 		res, err := r.Execute()
 		if err != nil {
@@ -244,7 +259,7 @@ func Fig2(corner int, o Options) (*FigThroughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, bin, err := runPolicies(64, policies, o.PacketSize, workload, until, nil)
+	results, bin, err := runPolicies(64, policies, o, workload, until, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +289,7 @@ func Fig3(compression float64, o Options) (*FigThroughput, error) {
 		policies = []fabric.Policy{fabric.PolicyVOQnet, fabric.Policy1Q, fabric.PolicyVOQsw, fabric.PolicyRECN}
 	}
 	workload, until := CelloWorkload(compression, o.Scale)
-	results, bin, err := runPolicies(64, policies, o.PacketSize, workload, until, celloMutate)
+	results, bin, err := runPolicies(64, policies, o, workload, until, celloMutate)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +314,7 @@ func Fig4(corner int, o Options) (*FigSAQ, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o.PacketSize, workload, until, nil)
+	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o, workload, until, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +330,7 @@ func Fig4(corner int, o Options) (*FigSAQ, error) {
 func Fig5(compression float64, o Options) (*FigSAQ, error) {
 	o = o.withDefaults()
 	workload, until := CelloWorkload(compression, o.Scale)
-	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o.PacketSize, workload, until, celloMutate)
+	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o, workload, until, celloMutate)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +357,7 @@ func Fig6(hosts int, o Options) (*FigThroughput, *FigSAQ, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	results, bin, err := runPolicies(hosts, policies, o.PacketSize, workload, until, nil)
+	results, bin, err := runPolicies(hosts, policies, o, workload, until, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -413,6 +428,7 @@ func runAblation(o Options, label string, mutate func(*fabric.Config)) (Ablation
 		Until:      until,
 		Bin:        bin,
 		Mutate:     mutate,
+		FaultSpec:  o.FaultSpec,
 	}.Execute()
 	if err != nil {
 		return AblationResult{}, err

@@ -50,6 +50,7 @@ func LatencyFig(corner int, o Options) (*Table, error) {
 			PacketSize: o.PacketSize,
 			Workload:   workload,
 			Until:      until,
+			FaultSpec:  o.FaultSpec,
 			Observe: func(now sim.Time, pk *pkt.Packet) {
 				for i, w := range windows {
 					if now >= w.from && now < w.to {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -18,17 +19,21 @@ import (
 	"repro/internal/units"
 )
 
-// netAdapter exposes a fabric.Network as a traffic.Network.
+// netAdapter exposes a fabric.Network as a traffic.Network. Injection
+// errors (generator bugs: bad host index, zero size) are collected into
+// err rather than panicking, so one bad workload fails its own run
+// instead of aborting a whole sweep; the first error wins.
 type netAdapter struct {
-	n *fabric.Network
+	n   *fabric.Network
+	err *error
 }
 
 func (a netAdapter) Hosts() int                      { return a.n.Topology().NumHosts() }
 func (a netAdapter) Now() sim.Time                   { return a.n.Engine.Now() }
 func (a netAdapter) Schedule(at sim.Time, fn func()) { a.n.Engine.Schedule(at, fn) }
 func (a netAdapter) Inject(src, dst, size int) {
-	if err := a.n.InjectMessage(src, dst, size); err != nil {
-		panic(err) // generator bugs must not pass silently
+	if err := a.n.InjectMessage(src, dst, size); err != nil && *a.err == nil {
+		*a.err = err
 	}
 }
 
@@ -53,6 +58,17 @@ type Run struct {
 	// Observe, if set, sees every delivered packet (after the built-in
 	// meters).
 	Observe func(now sim.Time, p *pkt.Packet)
+	// Faults, if set, injects the plan's faults into the run (plans are
+	// single-use). Recovery configures the watchdog/repair layer.
+	Faults   *fault.Plan
+	Recovery fault.Recovery
+	// FaultSpec, if non-empty and Faults is nil, is parsed into a fresh
+	// plan per Execute (multi-policy figures reuse one Run template, and
+	// plans are single-use). A run with faults but a disabled Recovery
+	// gets the default recovery timers: injecting faults without the
+	// repair layer is only useful in targeted tests, which set Faults
+	// directly.
+	FaultSpec string
 }
 
 // Result carries everything measured during a run.
@@ -65,6 +81,9 @@ type Result struct {
 	Delivered       uint64
 	OrderViolations uint64
 	Events          uint64
+	// Faults is the fault/recovery accounting (nil when the run had
+	// neither fault injection nor recovery configured).
+	Faults *stats.FaultReport
 }
 
 // Execute builds the network, installs the workload and simulates.
@@ -92,15 +111,36 @@ func (r Run) Execute() (*Result, error) {
 	if r.Mutate != nil {
 		r.Mutate(&cfg)
 	}
+	faults := r.Faults
+	if faults == nil && r.FaultSpec != "" {
+		faults, err = fault.ParsePlan(r.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	recovery := r.Recovery
+	if faults != nil && !recovery.Enabled {
+		recovery = fault.DefaultRecovery()
+	}
+	cfg.Faults = faults
+	cfg.Recovery = recovery
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 
+	tp, err := stats.NewThroughput(r.Bin)
+	if err != nil {
+		return nil, err
+	}
+	saq, err := stats.NewSAQSeries(r.Bin)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Policy:     r.Policy,
-		Throughput: stats.NewThroughput(r.Bin),
-		SAQ:        stats.NewSAQSeries(r.Bin),
+		Throughput: tp,
+		SAQ:        saq,
 		Latency:    stats.NewLatency(),
 	}
 	net.OnDeliver = func(p *pkt.Packet) {
@@ -126,12 +166,16 @@ func (r Run) Execute() (*Result, error) {
 		}
 		net.Engine.Schedule(0, sample)
 	}
+	var injectErr error
 	if r.Workload != nil {
-		if err := r.Workload(netAdapter{net}); err != nil {
+		if err := r.Workload(netAdapter{net, &injectErr}); err != nil {
 			return nil, err
 		}
 	}
 	net.Engine.Run(r.Until)
+	if injectErr != nil {
+		return nil, fmt.Errorf("experiments: workload injection: %w", injectErr)
+	}
 	if r.DrainAll {
 		net.Engine.Drain()
 		if err := net.CheckQuiesced(); err != nil {
@@ -142,6 +186,7 @@ func (r Run) Execute() (*Result, error) {
 	res.Delivered = net.DeliveredPackets
 	res.OrderViolations = net.OrderViolations
 	res.Events = net.Engine.Executed
+	res.Faults = net.FaultReport()
 	return res, nil
 }
 

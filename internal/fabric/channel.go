@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"repro/internal/fault"
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
@@ -23,6 +24,13 @@ type linkSink interface {
 	arriveData(p *pkt.Packet)
 	arriveCredit(c creditMsg)
 	arriveCtl(m recn.CtlMsg)
+	// auditResident returns the bytes resident in the receive buffer the
+	// sender's credits protect: the whole port RAM for queue -1, one
+	// ingress queue otherwise. Hosts consume instantly and return 0.
+	auditResident(queue int) int
+	// reverseQuiet reports whether the opposite link direction (carrying
+	// credits back to the sender) is completely silent.
+	reverseQuiet(now sim.Time) bool
 }
 
 // dataSource is the egress side feeding a channel with data packets.
@@ -65,6 +73,15 @@ type channel struct {
 	ctlHead   int
 
 	kickPending bool
+
+	// down: a scheduled link flap has failed this direction. The channel
+	// starts no new transmissions; queued control and upstream data wait
+	// (in-flight arrivals are unaffected — they left before the cut).
+	down bool
+	// inFlight counts scheduled arrivals (data and control) that have
+	// not yet reached the sink; the credit auditor requires a fully
+	// quiet link before comparing counters.
+	inFlight int
 }
 
 func newChannel(net *Network, src dataSource, sink linkSink) *channel {
@@ -108,6 +125,9 @@ func (ch *channel) kick() {
 
 func (ch *channel) attempt() {
 	ch.kickPending = false
+	if ch.down {
+		return // restored by the flap schedule, which kicks again
+	}
 	e := ch.net.Engine
 	if e.Now() < ch.busyUntil {
 		ch.kick()
@@ -125,13 +145,19 @@ func (ch *channel) attempt() {
 		}
 		ser := ch.rate.Serialize(item.size)
 		ch.busyUntil = e.Now() + ser
-		e.Schedule(ch.busyUntil+ch.latency, func() {
-			if item.credit != nil {
-				ch.sink.arriveCredit(*item.credit)
-			} else {
-				ch.sink.arriveCtl(*item.recn)
+		if plan := ch.net.faults; plan != nil {
+			switch v := plan.CtlVerdict(item.faultKind()); {
+			case v.Drop:
+				// The message consumed link time but never arrives.
+			case v.Dup:
+				ch.scheduleCtl(item, ch.busyUntil+ch.latency)
+				ch.scheduleCtl(item, ch.busyUntil+ch.latency)
+			default:
+				ch.scheduleCtl(item, ch.busyUntil+ch.latency+v.Delay)
 			}
-		})
+		} else {
+			ch.scheduleCtl(item, ch.busyUntil+ch.latency)
+		}
 		ch.kick() // keep draining
 		return
 	}
@@ -142,11 +168,53 @@ func (ch *channel) attempt() {
 	}
 	ser := ch.rate.Serialize(o.bytes)
 	ch.busyUntil = e.Now() + ser
+	if plan := ch.net.faults; plan != nil && plan.CorruptData() {
+		o.p.Corrupted = true
+	}
 	e.Schedule(ch.busyUntil, func() {
 		ch.src.txDone(o)
 		ch.kick()
 	})
+	ch.inFlight++
 	e.Schedule(ch.busyUntil+ch.latency, func() {
+		ch.inFlight--
 		ch.sink.arriveData(o.p)
 	})
+}
+
+// scheduleCtl schedules a control message's arrival at the sink,
+// tracking it as in flight until delivered.
+func (ch *channel) scheduleCtl(item ctlItem, at sim.Time) {
+	ch.inFlight++
+	ch.net.Engine.Schedule(at, func() {
+		ch.inFlight--
+		if item.credit != nil {
+			ch.sink.arriveCredit(*item.credit)
+		} else {
+			ch.sink.arriveCtl(*item.recn)
+		}
+	})
+}
+
+// quiet reports whether this direction is completely silent: nothing
+// serializing, nothing queued and nothing in flight.
+func (ch *channel) quiet(now sim.Time) bool {
+	return now >= ch.busyUntil && ch.ctlHead >= len(ch.ctl) && ch.inFlight == 0
+}
+
+// faultKind maps a control item to its fault-injection kind.
+func (item ctlItem) faultKind() fault.Kind {
+	if item.credit != nil {
+		return fault.Credit
+	}
+	switch item.recn.Kind {
+	case recn.MsgToken:
+		return fault.Token
+	case recn.MsgNotify:
+		return fault.Notify
+	case recn.MsgXoff:
+		return fault.Xoff
+	default:
+		return fault.Xon
+	}
 }

@@ -47,6 +47,8 @@ func (f *fakeSink) arriveCtl(m recn.CtlMsg) {
 	f.ctl = append(f.ctl, m)
 	f.ctlAt = append(f.ctlAt, f.eng.Now())
 }
+func (f *fakeSink) auditResident(queue int) int    { return 0 }
+func (f *fakeSink) reverseQuiet(now sim.Time) bool { return true }
 
 func newTestChannel(t *testing.T) (*Network, *fakeSource, *fakeSink, *channel) {
 	t.Helper()

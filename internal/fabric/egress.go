@@ -6,6 +6,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/pkt"
 	"repro/internal/recn"
+	"repro/internal/sim"
 )
 
 // egressUnit is the output side of a switch port, or a NIC injection
@@ -34,6 +35,9 @@ type egressUnit struct {
 	queueCredits []int
 	initPort     int
 	initQueue    int
+	// lastCreditAt is when a credit was last consumed or returned; the
+	// credit auditor only compares counters after a quiet period.
+	lastCreditAt sim.Time
 
 	rr         int // round-robin cursor over active normal queues
 	saqRR      int // round-robin cursor over SAQs
@@ -131,6 +135,7 @@ func (u *egressUnit) hasCredit(p *pkt.Packet) bool {
 }
 
 func (u *egressUnit) consumeCredit(p *pkt.Packet) {
+	u.lastCreditAt = u.net.Engine.Now()
 	if idx := u.creditIndex(p); idx >= 0 {
 		u.queueCredits[idx] -= p.Size
 		return
@@ -140,6 +145,7 @@ func (u *egressUnit) consumeCredit(p *pkt.Packet) {
 
 // addCredit applies a returned credit and retries transmission.
 func (u *egressUnit) addCredit(c creditMsg) {
+	u.lastCreditAt = u.net.Engine.Now()
 	if c.queue >= 0 && u.queueCredits != nil {
 		u.queueCredits[c.queue] += c.bytes
 	} else {

@@ -15,9 +15,11 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -121,6 +123,13 @@ type Config struct {
 	TrafficClasses int
 	// RECN holds the controller thresholds (used only by PolicyRECN).
 	RECN recn.Config
+	// Faults, when non-nil, injects the plan's faults into the links.
+	// Plans are single-use: a plan already bound to another network is
+	// rejected by New.
+	Faults *fault.Plan
+	// Recovery enables the watchdog/recovery layer. The zero value
+	// disables it entirely (no events scheduled, hot path unchanged).
+	Recovery fault.Recovery
 }
 
 // DefaultConfig returns the evaluation defaults for a topology.
@@ -193,6 +202,12 @@ type Network struct {
 	pktSeq       uint64
 	sweepPending bool
 
+	// Fault injection and recovery (nil / zero when disabled).
+	faults   *fault.Plan
+	recovery fault.Recovery
+	report   *stats.FaultReport
+	watchdog watchdogState
+
 	// OnDeliver, when set, observes every packet at the instant it is
 	// fully delivered to its destination host.
 	OnDeliver func(p *pkt.Packet)
@@ -238,8 +253,65 @@ func New(cfg Config) (*Network, error) {
 	for _, nic := range n.nics {
 		nic.wire()
 	}
+	if cfg.Faults != nil || cfg.Recovery.Enabled {
+		n.report = &stats.FaultReport{}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Bind(n.report); err != nil {
+			return nil, err
+		}
+		n.faults = cfg.Faults
+		if err := n.applyFlaps(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Recovery.Enabled {
+		n.recovery = cfg.Recovery.WithDefaults()
+	}
 	return n, nil
 }
+
+// applyFlaps schedules the plan's link-failure windows.
+func (n *Network) applyFlaps() error {
+	for i, f := range n.faults.Flaps {
+		ch, err := n.flapChannel(f)
+		if err != nil {
+			return fmt.Errorf("fault: flap %d: %w", i, err)
+		}
+		n.Engine.Schedule(f.Down, func() {
+			ch.down = true
+			n.report.LinkDowns++
+		})
+		n.Engine.Schedule(f.Up, func() {
+			ch.down = false
+			n.report.LinkUps++
+			ch.kick()
+		})
+	}
+	return nil
+}
+
+// flapChannel resolves the link direction a flap addresses.
+func (n *Network) flapChannel(f fault.LinkFlap) (*channel, error) {
+	if f.Host >= 0 {
+		if f.Host >= len(n.nics) {
+			return nil, fmt.Errorf("host %d outside [0, %d)", f.Host, len(n.nics))
+		}
+		return n.nics[f.Host].inj.ch, nil
+	}
+	if f.Switch < 0 || f.Switch >= len(n.switches) {
+		return nil, fmt.Errorf("switch %d outside [0, %d)", f.Switch, len(n.switches))
+	}
+	sw := n.switches[f.Switch]
+	if f.Port < 0 || f.Port >= len(sw.out) || sw.out[f.Port] == nil {
+		return nil, fmt.Errorf("switch %d has no output port %d", f.Switch, f.Port)
+	}
+	return sw.out[f.Port].ch, nil
+}
+
+// FaultReport returns the fault/recovery accounting, or nil when
+// neither fault injection nor recovery is configured.
+func (n *Network) FaultReport() *stats.FaultReport { return n.report }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -276,7 +348,11 @@ func (n *Network) InjectMessageClass(src, dst, size int, class uint8) error {
 	if int(class) >= n.cfg.TrafficClasses {
 		return fmt.Errorf("fabric: class %d outside the %d configured", class, n.cfg.TrafficClasses)
 	}
-	return n.nics[src].injectMessage(dst, size, class)
+	if err := n.nics[src].injectMessage(dst, size, class); err != nil {
+		return err
+	}
+	n.armWatchdog()
+	return nil
 }
 
 // idleSweepPeriod is how often idle never-used SAQs are collected so
@@ -324,6 +400,11 @@ func (n *Network) runSweep() {
 func (n *Network) deliver(p *pkt.Packet) {
 	n.DeliveredPackets++
 	n.DeliveredBytes += uint64(p.Size)
+	if p.Corrupted {
+		// Corrupted is only ever set by a bound fault plan, so the
+		// report exists.
+		n.report.CorruptedDelivered++
+	}
 	key := uint64(p.Src)<<40 | uint64(uint32(p.Dst))<<8 | uint64(p.Class)
 	if last, ok := n.lastSeq[key]; ok && p.Seq <= last {
 		n.OrderViolations++

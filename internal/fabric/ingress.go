@@ -6,6 +6,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/pkt"
 	"repro/internal/recn"
+	"repro/internal/sim"
 )
 
 // ingressUnit is the input side of a switch port. It receives packets
@@ -295,6 +296,20 @@ func (u *ingressUnit) arriveCtl(m recn.CtlMsg) {
 		}
 	}
 }
+
+// auditResident reports the resident bytes the upstream sender's
+// credits protect: the whole port RAM for port-level credits (queue -1;
+// SAQs share the same pool), one queue under the VOQ policies.
+func (u *ingressUnit) auditResident(queue int) int {
+	if queue < 0 {
+		return u.pool.Used()
+	}
+	return u.qs[queue].ResidentBytes()
+}
+
+// reverseQuiet reports whether the credit-carrying reverse direction of
+// this port's link is silent.
+func (u *ingressUnit) reverseQuiet(now sim.Time) bool { return u.revCh.quiet(now) }
 
 // --- recn.IngressEffects ---
 

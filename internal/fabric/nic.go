@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pkt"
 	"repro/internal/recn"
+	"repro/internal/sim"
 )
 
 // hostQueue is an unbounded FIFO of packets (a NIC admittance queue).
@@ -234,5 +235,13 @@ func (nic *NIC) arriveCtl(m recn.CtlMsg) {
 		// Reception side has no RECN state; ignore.
 	}
 }
+
+// auditResident: hosts consume packets instantly, so the switch→host
+// link never has bytes resident at the receiver.
+func (nic *NIC) auditResident(queue int) int { return 0 }
+
+// reverseQuiet reports whether the host→switch direction (which carries
+// the reception credits back) is silent.
+func (nic *NIC) reverseQuiet(now sim.Time) bool { return nic.inj.ch.quiet(now) }
 
 var _ linkSink = (*NIC)(nil)

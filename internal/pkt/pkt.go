@@ -147,6 +147,11 @@ type Packet struct {
 	// InjectedAt when the packet first entered the fabric.
 	CreatedAt  sim.Time
 	InjectedAt sim.Time
+
+	// Corrupted marks a payload damaged by an injected link fault. The
+	// packet still traverses the fabric and is delivered (and counted)
+	// normally — corruption detection is an end-to-end concern.
+	Corrupted bool
 }
 
 // NextTurn returns the output port the packet must take at the current

@@ -397,6 +397,34 @@ func (e *Egress) normalBytes() int {
 	return sum
 }
 
+// AuditRemoteStops is the watchdog hook for lost Xons (paper §3.7
+// assumes they always arrive): a remote stop held for `limit`
+// consecutive audits is overridden so the SAQ can transmit again. If
+// the downstream SAQ is genuinely still above threshold it re-asserts
+// Xoff on the next arrival (or via its own resend timer); if the Xon
+// was lost, this unfreezes the SAQ. Returns the number of stops
+// cleared. Iterates in CAM line order for determinism.
+func (e *Egress) AuditRemoteStops(limit int) int {
+	cleared := 0
+	for id := 0; id < e.cfg.MaxSAQs; id++ {
+		s, ok := e.saqs[id]
+		if !ok {
+			continue
+		}
+		if !s.xoffRemote {
+			s.watchTicks = 0
+			continue
+		}
+		s.watchTicks++
+		if s.watchTicks >= limit {
+			s.xoffRemote = false
+			s.watchTicks = 0
+			cleared++
+		}
+	}
+	return cleared
+}
+
 // Root reports whether this port is currently a congestion-tree root.
 func (e *Egress) Root() bool { return e.root }
 

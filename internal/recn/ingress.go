@@ -253,6 +253,70 @@ func (in *Ingress) dealloc(s *SAQ) {
 	in.fx.TokenToEgress(int(s.Path.First()), s.Path.Rest())
 }
 
+// AuditTokens is the watchdog hook for lost tokens and notifications
+// (the paper assumes both always arrive, §3.5/§3.8). A SAQ that has
+// been idle with its token outstanding for `limit` consecutive audits
+// is force-reclaimed: the upstream subtree either never existed (the
+// notification was dropped) or collapsed without us hearing (the token
+// was dropped). Reclaiming early in a live tree is safe — a token that
+// arrives later finds no CAM entry and is already tolerated as stale.
+// Returns the number of SAQs reclaimed. Iterates in CAM line order for
+// determinism.
+func (in *Ingress) AuditTokens(limit int) int {
+	reclaimed := 0
+	for id := 0; id < in.cfg.MaxSAQs; id++ {
+		s, ok := in.saqs[id]
+		if !ok {
+			continue
+		}
+		if s.sentUpstream && s.Q.Idle() {
+			s.watchTicks++
+			if s.watchTicks >= limit {
+				in.forceReclaim(s)
+				reclaimed++
+			}
+		} else {
+			s.watchTicks = 0
+		}
+	}
+	return reclaimed
+}
+
+// forceReclaim deallocates a SAQ without waiting for its token. If we
+// had stopped the upstream SAQ, release it first — leaving a phantom
+// Xoff in place would freeze the upstream queue forever.
+func (in *Ingress) forceReclaim(s *SAQ) {
+	if s.xoffSent {
+		s.xoffSent = false
+		in.stats.XonSent++
+		in.fx.SendUpstream(CtlMsg{Kind: MsgXon, Path: s.Path})
+	}
+	s.sentUpstream = false
+	s.leaf = true
+	in.dealloc(s)
+}
+
+// ResendStops is the watchdog hook for lost Xoffs: re-send the stop for
+// every SAQ that believes the upstream is stopped while still sitting
+// above the threshold. A duplicate Xoff at a correctly stopped upstream
+// is idempotent, so resending is always safe. Returns the number of
+// Xoffs re-sent. Iterates in CAM line order for determinism.
+func (in *Ingress) ResendStops() int {
+	sent := 0
+	for id := 0; id < in.cfg.MaxSAQs; id++ {
+		s, ok := in.saqs[id]
+		if !ok {
+			continue
+		}
+		if s.xoffSent && s.Q.QueuedBytes() >= in.cfg.XoffBytes {
+			in.stats.XoffSent++
+			in.fx.SendUpstream(CtlMsg{Kind: MsgXoff, Path: s.Path})
+			sent++
+		}
+	}
+	return sent
+}
+
 // Port returns this input port's index within its switch.
 func (in *Ingress) Port() int { return in.port }
 

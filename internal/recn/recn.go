@@ -188,6 +188,12 @@ type SAQ struct {
 	// never-used SAQs are collected by the periodic idle sweep.
 	used bool
 
+	// watchTicks counts consecutive watchdog audits in which this SAQ
+	// was found in a possibly-stuck state (ingress: token outstanding
+	// and idle; egress: remote stop held). Counting ticks instead of
+	// timestamps keeps the controllers free of any notion of time.
+	watchTicks int
+
 	// xoffSent (ingress): we told the upstream SAQ to stop.
 	xoffSent bool
 	// xoffRemote (egress): the downstream SAQ told us to stop.

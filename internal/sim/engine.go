@@ -9,6 +9,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Time is an absolute simulation time in picoseconds.
@@ -34,6 +36,31 @@ func (t Time) String() string {
 	default:
 		return fmt.Sprintf("%dps", int64(t))
 	}
+}
+
+// ParseTime parses a duration like "250ns", "1.5us", "2ms" or "800ps"
+// into a Time. It is the inverse of String for whole-unit values and is
+// used by command-line flags (e.g. recnsim -faults).
+func ParseTime(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	unit := Picosecond
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		unit, s = Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"), strings.HasSuffix(s, "µs"):
+		unit, s = Microsecond, strings.TrimSuffix(strings.TrimSuffix(s, "us"), "µs")
+	case strings.HasSuffix(s, "ns"):
+		unit, s = Nanosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ps"):
+		unit, s = Picosecond, s[:len(s)-2]
+	default:
+		return 0, fmt.Errorf("sim: duration %q needs a unit (ps, ns, us, ms)", s)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: duration %q: %v", s, err)
+	}
+	return Time(v * float64(unit)), nil
 }
 
 // Micros returns the time converted to microseconds as a float.

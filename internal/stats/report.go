@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// FaultKind identifies a class of link traffic a fault can target. The
+// first five are the control messages RECN and the flow control depend
+// on; FaultData covers payload packets (which a lossless fabric never
+// drops — data faults are corruption and link flaps only).
+type FaultKind int
+
+const (
+	FaultCredit FaultKind = iota
+	FaultToken
+	FaultXon
+	FaultXoff
+	FaultNotify
+	FaultData
+	// NumFaultKinds bounds the kind space (array sizing).
+	NumFaultKinds
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCredit:
+		return "credit"
+	case FaultToken:
+		return "token"
+	case FaultXon:
+		return "xon"
+	case FaultXoff:
+		return "xoff"
+	case FaultNotify:
+		return "notify"
+	case FaultData:
+		return "data"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// FaultReport accounts for every fault injected into a network and
+// every action the watchdog/recovery layer took in response. It is the
+// "report, don't panic" counterpart of the fabric's quiesce invariants:
+// conservation violations and stalls are recorded here instead of
+// crashing the run.
+type FaultReport struct {
+	// Injected faults, by message kind.
+	Dropped    [NumFaultKinds]uint64
+	Duplicated [NumFaultKinds]uint64
+	Delayed    [NumFaultKinds]uint64
+	// Corrupted counts payload packets whose contents were damaged on a
+	// link; CorruptedDelivered counts those that reached their host (the
+	// fabric is lossless, so the two converge once the network drains).
+	Corrupted          uint64
+	CorruptedDelivered uint64
+	// LinkDowns/LinkUps count executed link-flap schedule entries.
+	LinkDowns uint64
+	LinkUps   uint64
+
+	// Watchdog observations.
+	StallEvents uint64   // no-delivery windows with packets in flight
+	LastStallAt sim.Time // when the most recent stall was detected
+
+	// Recovery actions.
+	SAQsReclaimed    uint64 // idle SAQs whose token never arrived
+	XoffResent       uint64 // Xoff retransmissions for still-full SAQs
+	XonOverridden    uint64 // remote stops cleared after silence
+	CreditViolations uint64 // credit-conservation mismatches detected
+	CreditResyncs    uint64 // ports whose credit counts were restored
+	CreditsRestored  uint64 // bytes of credit restored by resyncs
+}
+
+// InjectedFaults returns the total number of faults the plan injected
+// (drops, duplicates, delays, corruptions and link-down events).
+func (r *FaultReport) InjectedFaults() uint64 {
+	var sum uint64
+	for k := 0; k < int(NumFaultKinds); k++ {
+		sum += r.Dropped[k] + r.Duplicated[k] + r.Delayed[k]
+	}
+	return sum + r.Corrupted + r.LinkDowns
+}
+
+// RecoveryActions returns the total number of repair actions taken.
+func (r *FaultReport) RecoveryActions() uint64 {
+	return r.SAQsReclaimed + r.XoffResent + r.XonOverridden + r.CreditResyncs
+}
+
+func (r *FaultReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("faults{")
+	sep := ""
+	field := func(name string, v uint64) {
+		if v == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%s%s=%d", sep, name, v)
+		sep = " "
+	}
+	for k := FaultKind(0); k < NumFaultKinds; k++ {
+		field("drop_"+k.String(), r.Dropped[k])
+		field("dup_"+k.String(), r.Duplicated[k])
+		field("delay_"+k.String(), r.Delayed[k])
+	}
+	field("corrupted", r.Corrupted)
+	field("corrupted_delivered", r.CorruptedDelivered)
+	field("link_downs", r.LinkDowns)
+	field("link_ups", r.LinkUps)
+	field("stalls", r.StallEvents)
+	field("saqs_reclaimed", r.SAQsReclaimed)
+	field("xoff_resent", r.XoffResent)
+	field("xon_overridden", r.XonOverridden)
+	field("credit_violations", r.CreditViolations)
+	field("credit_resyncs", r.CreditResyncs)
+	field("credits_restored", r.CreditsRestored)
+	if sep == "" {
+		sb.WriteString("none")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

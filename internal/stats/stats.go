@@ -19,12 +19,14 @@ type Throughput struct {
 	bytes []uint64
 }
 
-// NewThroughput creates a meter with the given bin width.
-func NewThroughput(bin sim.Time) *Throughput {
+// NewThroughput creates a meter with the given bin width. A
+// non-positive width is a caller error, reported rather than panicking
+// (library code must not crash on bad input).
+func NewThroughput(bin sim.Time) (*Throughput, error) {
 	if bin <= 0 {
-		panic(fmt.Sprintf("stats: bin width %v", bin))
+		return nil, fmt.Errorf("stats: bin width %v (must be positive)", bin)
 	}
-	return &Throughput{bin: bin}
+	return &Throughput{bin: bin}, nil
 }
 
 // Add records size bytes delivered at time t.
@@ -100,12 +102,13 @@ type SAQSeries struct {
 	maxs []SAQSample
 }
 
-// NewSAQSeries creates a series with the given bin width.
-func NewSAQSeries(bin sim.Time) *SAQSeries {
+// NewSAQSeries creates a series with the given bin width. A
+// non-positive width is a caller error, reported rather than panicking.
+func NewSAQSeries(bin sim.Time) (*SAQSeries, error) {
 	if bin <= 0 {
-		panic(fmt.Sprintf("stats: bin width %v", bin))
+		return nil, fmt.Errorf("stats: bin width %v (must be positive)", bin)
 	}
-	return &SAQSeries{bin: bin}
+	return &SAQSeries{bin: bin}, nil
 }
 
 // Observe folds a sample taken at time t into its bin (keeping maxima).

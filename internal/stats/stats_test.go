@@ -11,7 +11,10 @@ import (
 )
 
 func TestThroughputBinning(t *testing.T) {
-	m := NewThroughput(10 * sim.Microsecond)
+	m, err := NewThroughput(10 * sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.Add(0, 1000)
 	m.Add(9*sim.Microsecond, 2000)
 	m.Add(10*sim.Microsecond, 500)
@@ -54,20 +57,23 @@ func TestThroughputBinning(t *testing.T) {
 	}
 }
 
-func TestThroughputPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewThroughput(0) did not panic")
-		}
-	}()
-	NewThroughput(0)
+func TestThroughputBadBin(t *testing.T) {
+	if _, err := NewThroughput(0); err == nil {
+		t.Error("NewThroughput(0) did not error")
+	}
+	if _, err := NewThroughput(-sim.Microsecond); err == nil {
+		t.Error("NewThroughput(-1us) did not error")
+	}
 }
 
 // Property: Total equals the sum of all added sizes regardless of
 // times.
 func TestQuickThroughputTotal(t *testing.T) {
 	f := func(sizes []uint16, times []uint32) bool {
-		m := NewThroughput(sim.Microsecond)
+		m, err := NewThroughput(sim.Microsecond)
+		if err != nil {
+			return false
+		}
 		var want uint64
 		for i, s := range sizes {
 			tm := sim.Time(0)
@@ -85,7 +91,10 @@ func TestQuickThroughputTotal(t *testing.T) {
 }
 
 func TestSAQSeriesMaxima(t *testing.T) {
-	s := NewSAQSeries(10 * sim.Microsecond)
+	s, err := NewSAQSeries(10 * sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Observe(sim.Microsecond, SAQSample{Total: 5, MaxIngress: 2, MaxEgress: 1})
 	s.Observe(2*sim.Microsecond, SAQSample{Total: 3, MaxIngress: 4, MaxEgress: 0})
 	s.Observe(15*sim.Microsecond, SAQSample{Total: 7, MaxIngress: 1, MaxEgress: 6})
@@ -105,13 +114,10 @@ func TestSAQSeriesMaxima(t *testing.T) {
 	}
 }
 
-func TestSAQSeriesPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewSAQSeries(0) did not panic")
-		}
-	}()
-	NewSAQSeries(0)
+func TestSAQSeriesBadBin(t *testing.T) {
+	if _, err := NewSAQSeries(0); err == nil {
+		t.Error("NewSAQSeries(0) did not error")
+	}
 }
 
 func TestLatencyExactStats(t *testing.T) {

@@ -31,9 +31,11 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -69,7 +71,65 @@ type (
 	Trace = traffic.Trace
 	// Packet is a network packet (as seen by Network.OnDeliver).
 	Packet = pkt.Packet
+	// FaultPlan is a deterministic, seeded fault schedule (single-use).
+	FaultPlan = fault.Plan
+	// FaultRule is a per-message-kind probabilistic fault rule.
+	FaultRule = fault.Rule
+	// FaultKind identifies the traffic class a fault targets.
+	FaultKind = fault.Kind
+	// LinkFlap is one scheduled link-failure window.
+	LinkFlap = fault.LinkFlap
+	// FaultRecovery configures the watchdog/recovery layer.
+	FaultRecovery = fault.Recovery
+	// FaultReport accounts injected faults and recovery actions.
+	FaultReport = stats.FaultReport
 )
+
+// FaultConfig bundles a fault plan with the recovery layer that
+// counters it; pass it to NewNetworkFaults or set the corresponding
+// Config fields directly.
+type FaultConfig struct {
+	// Plan injects faults (nil = none). Plans are single-use.
+	Plan *FaultPlan
+	// Recovery configures the watchdog layer; the zero value disables
+	// it, DefaultFaultRecovery() enables it with default timers.
+	Recovery FaultRecovery
+}
+
+// Fault targets for FaultPlan rules and scripted drops.
+const (
+	FaultCredit = fault.Credit
+	FaultToken  = fault.Token
+	FaultXon    = fault.Xon
+	FaultXoff   = fault.Xoff
+	FaultNotify = fault.Notify
+	FaultData   = fault.Data
+)
+
+// NewFaultPlan returns an empty fault plan with the given RNG seed.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// ParseFaultPlan builds a plan from the compact spec format used by
+// `recnsim -faults` (e.g. "seed=7,drop=token:3,flap=0:2:100us:400us").
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// DefaultFaultRecovery returns the recovery layer with default timers.
+func DefaultFaultRecovery() FaultRecovery { return fault.DefaultRecovery() }
+
+// NewNetworkFaults builds a simulation of the paper's network with the
+// given mechanism, fault plan and recovery layer. Read the outcome from
+// Network.FaultReport after the run.
+func NewNetworkFaults(hosts int, policy Policy, fc FaultConfig) (*Network, error) {
+	topo, err := topology.ForHosts(hosts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fabric.DefaultConfig(topo)
+	cfg.Policy = policy
+	cfg.Faults = fc.Plan
+	cfg.Recovery = fc.Recovery
+	return fabric.New(cfg)
+}
 
 // Queuing mechanisms (paper §4.3).
 const (
@@ -208,7 +268,7 @@ func ReplayTrace(net *Network, tr Trace, compression float64) error {
 }
 
 // Table1 reproduces the paper's Table 1.
-func Table1() *Table { return experiments.Table1() }
+func Table1() (*Table, error) { return experiments.Table1() }
 
 // FigureIDs lists every reproducible experiment, in paper order.
 func FigureIDs() []string {
@@ -223,7 +283,13 @@ func FigureIDs() []string {
 type figureRunner func(o Options) ([]*Table, error)
 
 var figureRunners = map[string]figureRunner{
-	"table1": func(o Options) ([]*Table, error) { return []*Table{experiments.Table1()}, nil },
+	"table1": func(o Options) ([]*Table, error) {
+		t, err := experiments.Table1()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	},
 	"2a":     fig2Runner(1, 0),
 	"2b":     fig2Runner(2, 0),
 	"2c": func(o Options) ([]*Table, error) {
