@@ -46,9 +46,11 @@ func main() {
 		tr := load(*stats)
 		printStats(tr)
 	case *replay != "":
-		tr := load(*replay)
+		// Validate the mechanism name before touching the (possibly
+		// large) trace file or building the fabric.
 		pol, err := repro.ParsePolicy(*policy)
 		check(err)
+		tr := load(*replay)
 		net, err := repro.NewNetwork(*hosts, pol)
 		check(err)
 		check(repro.ReplayTrace(net, tr, *cf))

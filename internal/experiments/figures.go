@@ -6,6 +6,7 @@ import (
 	"repro/internal/fabric"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -25,6 +26,12 @@ type Options struct {
 	// enabled; the per-run fault/recovery accounting is appended to the
 	// figure's table notes.
 	FaultSpec string
+	// Trace, if non-nil, attaches a flight recorder to every run of
+	// the figure (a fresh recorder per run — they are single-use).
+	Trace *trace.Config
+	// OnTrace, if set alongside Trace, receives each run's recorder as
+	// the run finishes; label is the mechanism name.
+	OnTrace func(label string, rec *trace.Recorder)
 }
 
 func (o Options) withDefaults() Options {
@@ -236,12 +243,16 @@ func runPolicies(hosts int, policies []fabric.Policy, o Options,
 			Bin:        bin,
 			Mutate:     mutate,
 			FaultSpec:  o.FaultSpec,
+			Trace:      o.Trace,
 		}
 		res, err := r.Execute()
 		if err != nil {
 			return nil, 0, fmt.Errorf("experiments: %v run: %w", p, err)
 		}
 		results[i] = res
+		if res.Trace != nil && o.OnTrace != nil {
+			o.OnTrace(p.String(), res.Trace)
+		}
 	}
 	return results, bin, nil
 }

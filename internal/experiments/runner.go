@@ -15,6 +15,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/units"
 )
@@ -69,6 +70,11 @@ type Run struct {
 	// repair layer is only useful in targeted tests, which set Faults
 	// directly.
 	FaultSpec string
+	// Trace, if non-nil, attaches a flight recorder built from this
+	// config to the run (recorders are single-use, so like FaultSpec a
+	// fresh one is created per Execute). The recorder is returned in
+	// Result.Trace.
+	Trace *trace.Config
 }
 
 // Result carries everything measured during a run.
@@ -84,6 +90,8 @@ type Result struct {
 	// Faults is the fault/recovery accounting (nil when the run had
 	// neither fault injection nor recovery configured).
 	Faults *stats.FaultReport
+	// Trace is the run's flight recorder (nil when tracing was off).
+	Trace *trace.Recorder
 }
 
 // Execute builds the network, installs the workload and simulates.
@@ -124,6 +132,11 @@ func (r Run) Execute() (*Result, error) {
 	}
 	cfg.Faults = faults
 	cfg.Recovery = recovery
+	var rec *trace.Recorder
+	if r.Trace != nil {
+		rec = trace.New(*r.Trace)
+		cfg.Tracer = rec
+	}
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return nil, err
@@ -187,6 +200,7 @@ func (r Run) Execute() (*Result, error) {
 	res.OrderViolations = net.OrderViolations
 	res.Events = net.Engine.Executed
 	res.Faults = net.FaultReport()
+	res.Trace = rec
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -67,6 +68,8 @@ type channel struct {
 	sink    linkSink
 	rate    units.Rate
 	latency sim.Time
+	// loc is the sending port's trace location (set at attach time).
+	loc trace.Loc
 
 	busyUntil sim.Time
 	ctl       []ctlItem // FIFO, consumed from index ctlHead
@@ -96,6 +99,9 @@ func newChannel(net *Network, src dataSource, sink linkSink) *channel {
 
 // pushCredit enqueues a credit return.
 func (ch *channel) pushCredit(bytes, queue int) {
+	if ch.net.rec != nil {
+		ch.net.rec.Record(trace.EvCredit, ch.loc, "", int64(bytes), int64(queue), 0)
+	}
 	ch.ctl = append(ch.ctl, ctlItem{size: ch.net.cfg.CreditSize, credit: &creditMsg{bytes: bytes, queue: queue}})
 	ch.kick()
 }
@@ -149,10 +155,19 @@ func (ch *channel) attempt() {
 			switch v := plan.CtlVerdict(item.faultKind()); {
 			case v.Drop:
 				// The message consumed link time but never arrives.
+				if ch.net.rec != nil {
+					ch.net.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDrop, 0)
+				}
 			case v.Dup:
+				if ch.net.rec != nil {
+					ch.net.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDup, 0)
+				}
 				ch.scheduleCtl(item, ch.busyUntil+ch.latency)
 				ch.scheduleCtl(item, ch.busyUntil+ch.latency)
 			default:
+				if v.Delay > 0 && ch.net.rec != nil {
+					ch.net.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDelay, int64(v.Delay))
+				}
 				ch.scheduleCtl(item, ch.busyUntil+ch.latency+v.Delay)
 			}
 		} else {
@@ -166,10 +181,16 @@ func (ch *channel) attempt() {
 	if o == nil {
 		return
 	}
+	if ch.net.rec != nil {
+		ch.net.rec.RecordPacket(trace.EvSend, ch.loc, o.p.ID, o.p.Size, o.p.Src, o.p.Dst)
+	}
 	ser := ch.rate.Serialize(o.bytes)
 	ch.busyUntil = e.Now() + ser
 	if plan := ch.net.faults; plan != nil && plan.CorruptData() {
 		o.p.Corrupted = true
+		if ch.net.rec != nil {
+			ch.net.rec.Record(trace.EvFault, ch.loc, "data", 0, trace.FaultCorrupt, 0)
+		}
 	}
 	e.Schedule(ch.busyUntil, func() {
 		ch.src.txDone(o)

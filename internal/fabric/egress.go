@@ -7,6 +7,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // egressUnit is the output side of a switch port, or a NIC injection
@@ -91,6 +92,7 @@ func egressQueuePlan(cfg Config) (n, cap int) {
 // remote input buffer.
 func (u *egressUnit) attach(sink linkSink, remoteHost bool) {
 	u.ch = newChannel(u.net, u, sink)
+	u.ch.loc = u.loc()
 	u.remoteHost = remoteHost
 	cfg := u.net.cfg
 	u.portCredits = cfg.PortMemory
@@ -377,6 +379,15 @@ func (u *egressUnit) NotifyIngress(ingress int, path pkt.Path) bool {
 		return false
 	}
 	ok := in.rc.OnNotifyLocal(path)
+	if u.net.rec != nil {
+		// Recorded at the receiving ingress: the path is anchored at
+		// this switch, which is what the root resolver expects.
+		accepted := int64(0)
+		if ok {
+			accepted = 1
+		}
+		u.net.rec.Record(trace.EvNotify, in.loc(), path.Key(), 1, accepted, 0)
+	}
 	if ok {
 		// A marker was placed in the ingress normal queue; ensure the
 		// arbiter runs so it can be peeled even if no further packets
@@ -389,6 +400,13 @@ func (u *egressUnit) NotifyIngress(ingress int, path pkt.Path) bool {
 
 // SendTokenDownstream forwards a token over the link (paper §3.5).
 func (u *egressUnit) SendTokenDownstream(path pkt.Path, refused bool) {
+	if u.net.rec != nil {
+		ref := int64(0)
+		if refused {
+			ref = 1
+		}
+		u.net.rec.Record(trace.EvToken, u.loc(), path.Key(), ref, 0, 0)
+	}
 	u.ch.pushCtl(recn.CtlMsg{Kind: recn.MsgToken, Path: path, Refused: refused})
 }
 

@@ -14,6 +14,7 @@ package fabric
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/pkt"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -63,14 +65,24 @@ func (p Policy) String() string {
 	}
 }
 
-// ParsePolicy converts a mechanism name to a Policy.
+// ParsePolicy converts a mechanism name to a Policy (case-insensitive).
 func ParsePolicy(s string) (Policy, error) {
 	for _, p := range Policies {
-		if p.String() == s {
+		if strings.EqualFold(p.String(), s) {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("fabric: unknown policy %q (want 1Q, 4Q, VOQsw, VOQnet or RECN)", s)
+	return 0, fmt.Errorf("fabric: unknown policy %q (valid: %s)", s, PolicyNames())
+}
+
+// PolicyNames returns every mechanism name ParsePolicy accepts, for
+// error messages and usage strings.
+func PolicyNames() string {
+	names := make([]string, len(Policies))
+	for i, p := range Policies {
+		names[i] = p.String()
+	}
+	return strings.Join(names, ", ")
 }
 
 // Topology is what the fabric needs from a network graph: port wiring,
@@ -130,6 +142,11 @@ type Config struct {
 	// Recovery enables the watchdog/recovery layer. The zero value
 	// disables it entirely (no events scheduled, hot path unchanged).
 	Recovery fault.Recovery
+	// Tracer, when non-nil, records simulation events into the flight
+	// recorder. Like Faults, recorders are single-use: one already
+	// bound to another network is rejected by New. nil keeps every
+	// hook down to a single pointer comparison.
+	Tracer *trace.Recorder
 }
 
 // DefaultConfig returns the evaluation defaults for a topology.
@@ -202,6 +219,11 @@ type Network struct {
 	pktSeq       uint64
 	sweepPending bool
 
+	// Flight recorder (nil when tracing is disabled).
+	rec            *trace.Recorder
+	probes         []traceProbe
+	samplerPending bool
+
 	// Fault injection and recovery (nil / zero when disabled).
 	faults   *fault.Plan
 	recovery fault.Recovery
@@ -268,8 +290,16 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Recovery.Enabled {
 		n.recovery = cfg.Recovery.WithDefaults()
 	}
+	if cfg.Tracer != nil {
+		if err := n.installTracer(cfg.Tracer); err != nil {
+			return nil, err
+		}
+	}
 	return n, nil
 }
+
+// Tracer returns the flight recorder, or nil when tracing is disabled.
+func (n *Network) Tracer() *trace.Recorder { return n.rec }
 
 // applyFlaps schedules the plan's link-failure windows.
 func (n *Network) applyFlaps() error {
@@ -281,10 +311,16 @@ func (n *Network) applyFlaps() error {
 		n.Engine.Schedule(f.Down, func() {
 			ch.down = true
 			n.report.LinkDowns++
+			if n.rec != nil {
+				n.rec.Record(trace.EvFault, ch.loc, "link", 0, trace.FaultLinkDown, 0)
+			}
 		})
 		n.Engine.Schedule(f.Up, func() {
 			ch.down = false
 			n.report.LinkUps++
+			if n.rec != nil {
+				n.rec.Record(trace.EvFault, ch.loc, "link", 0, trace.FaultLinkUp, 0)
+			}
 			ch.kick()
 		})
 	}
@@ -352,6 +388,7 @@ func (n *Network) InjectMessageClass(src, dst, size int, class uint8) error {
 		return err
 	}
 	n.armWatchdog()
+	n.armTraceSampler()
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ingressUnit is the input side of a switch port. It receives packets
@@ -247,6 +248,9 @@ func (u *ingressUnit) canForward(p *pkt.Packet, fromSAQ bool) bool {
 // arriveData stores a packet arriving over the link. Credits guarantee
 // space; mempool panics otherwise (a flow-control bug).
 func (u *ingressUnit) arriveData(p *pkt.Packet) {
+	if u.net.rec != nil {
+		u.net.rec.RecordPacket(trace.EvRecv, u.loc(), p.ID, p.Size, p.Src, p.Dst)
+	}
 	h, s := u.classify(p)
 	h.q.Push(p.Size, p)
 	if h.idx >= 0 {
@@ -314,13 +318,31 @@ func (u *ingressUnit) reverseQuiet(now sim.Time) bool { return u.revCh.quiet(now
 // --- recn.IngressEffects ---
 
 // SendUpstream transmits a RECN control message on the reverse link.
-func (u *ingressUnit) SendUpstream(m recn.CtlMsg) { u.revCh.pushCtl(m) }
+func (u *ingressUnit) SendUpstream(m recn.CtlMsg) {
+	if u.net.rec != nil {
+		switch m.Kind {
+		case recn.MsgNotify:
+			u.net.rec.Record(trace.EvNotify, u.loc(), m.Path.Key(), 0, 0, 0)
+		case recn.MsgXoff:
+			u.net.rec.Record(trace.EvXoff, u.loc(), m.Path.Key(), 0, 0, 0)
+		case recn.MsgXon:
+			u.net.rec.Record(trace.EvXon, u.loc(), m.Path.Key(), 0, 0, 0)
+		}
+	}
+	u.revCh.pushCtl(m)
+}
 
 // TokenToEgress returns a branch token to a local output port.
 func (u *ingressUnit) TokenToEgress(egress int, rest pkt.Path) {
 	ou := u.sw.out[egress]
 	if ou == nil || ou.rc == nil {
 		panic(fmt.Sprintf("fabric: token to unused port %d of switch %d", egress, u.sw.id))
+	}
+	if u.net.rec != nil {
+		// Recorded at the receiving egress with the remaining path:
+		// `rest` is anchored exactly as that port's own SAQ paths are
+		// (empty = the port itself is the root).
+		u.net.rec.Record(trace.EvToken, ou.loc(), rest.Key(), 0, 1, 0)
 	}
 	ou.rc.OnTokenFromIngress(u.port, rest)
 }

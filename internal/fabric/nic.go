@@ -6,6 +6,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // hostQueue is an unbounded FIFO of packets (a NIC admittance queue).
@@ -121,6 +122,9 @@ func (nic *NIC) injectMessage(dst, size int, class uint8) error {
 	// accepted when below it, so messages larger than the cap work).
 	if cap := nic.net.cfg.AdmitCap; cap > 0 && nic.admitBytes[dst] >= cap {
 		nic.net.DroppedMessages++
+		if nic.net.rec != nil {
+			nic.net.rec.Record(trace.EvDrop, nic.inj.loc(), "", int64(dst), int64(size), 0)
+		}
 		return nil
 	}
 	now := nic.net.Engine.Now()
@@ -205,6 +209,9 @@ func (nic *NIC) runPump() {
 // arriveData delivers a packet to the host: it is consumed immediately
 // and the buffer credit returns to the last switch.
 func (nic *NIC) arriveData(p *pkt.Packet) {
+	if nic.net.rec != nil {
+		nic.net.rec.RecordPacket(trace.EvRecv, nic.hostLoc(), p.ID, p.Size, p.Src, p.Dst)
+	}
 	nic.net.deliver(p)
 	nic.inj.ch.pushCredit(p.Size, -1)
 }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // This file implements the watchdog/recovery layer (Config.Recovery):
@@ -50,6 +51,9 @@ func (n *Network) watchdogTick() {
 			n.report.StallEvents++
 			n.report.LastStallAt = now
 			w.stallTicks = 0
+			if n.rec != nil {
+				n.rec.Record(trace.EvWatchdog, trace.NetLoc, "", trace.WatchStall, int64(n.PendingPackets()), 0)
+			}
 		}
 	} else {
 		w.stallTicks = 0
@@ -65,9 +69,19 @@ func (n *Network) watchdogTick() {
 				if in == nil || in.rc == nil {
 					continue
 				}
-				n.report.SAQsReclaimed += uint64(in.rc.AuditTokens(tokenTicks))
+				if c := in.rc.AuditTokens(tokenTicks); c > 0 {
+					n.report.SAQsReclaimed += uint64(c)
+					if n.rec != nil {
+						n.rec.Record(trace.EvWatchdog, in.loc(), "", trace.WatchSAQReclaim, int64(c), 0)
+					}
+				}
 				if resend {
-					n.report.XoffResent += uint64(in.rc.ResendStops())
+					if c := in.rc.ResendStops(); c > 0 {
+						n.report.XoffResent += uint64(c)
+						if n.rec != nil {
+							n.rec.Record(trace.EvWatchdog, in.loc(), "", trace.WatchXoffResend, int64(c), 0)
+						}
+					}
 				}
 			}
 			for _, out := range sw.out {
@@ -76,6 +90,9 @@ func (n *Network) watchdogTick() {
 				}
 				if c := out.rc.AuditRemoteStops(xonTicks); c > 0 {
 					n.report.XonOverridden += uint64(c)
+					if n.rec != nil {
+						n.rec.Record(trace.EvWatchdog, out.loc(), "", trace.WatchXonOverride, int64(c), 0)
+					}
 					out.ch.kick() // the un-stopped SAQ may transmit again
 				}
 			}
@@ -86,6 +103,9 @@ func (n *Network) watchdogTick() {
 			}
 			if c := nic.inj.rc.AuditRemoteStops(xonTicks); c > 0 {
 				n.report.XonOverridden += uint64(c)
+				if n.rec != nil {
+					n.rec.Record(trace.EvWatchdog, nic.inj.loc(), "", trace.WatchXonOverride, int64(c), 0)
+				}
 				nic.inj.ch.kick()
 			}
 		}
@@ -170,8 +190,14 @@ func (u *egressUnit) resyncCredit(counter *int, expected int, report *stats.Faul
 	if diff > 0 {
 		report.CreditResyncs++
 		report.CreditsRestored += uint64(diff)
+		if u.net.rec != nil {
+			u.net.rec.Record(trace.EvWatchdog, u.loc(), "", trace.WatchCreditResync, int64(diff), 0)
+		}
 	} else {
 		report.CreditViolations++
+		if u.net.rec != nil {
+			u.net.rec.Record(trace.EvWatchdog, u.loc(), "", trace.WatchCreditViolation, int64(-diff), 0)
+		}
 	}
 	*counter = expected
 	u.lastCreditAt = u.net.Engine.Now()

@@ -53,8 +53,12 @@ type Egress struct {
 	rootBranch   map[int]bool
 
 	fx    EgressEffects
+	tr    Tracer
 	stats Stats
 }
+
+// SetTracer installs a flight-recorder tap (nil disables tracing).
+func (e *Egress) SetTracer(tr Tracer) { e.tr = tr }
 
 // NewEgress builds the controller for one output port.
 //
@@ -94,7 +98,11 @@ func (e *Egress) Classify(route pkt.Route, hop int) *SAQ {
 	if e.cam.Used() == 0 {
 		return nil
 	}
-	if id, ok := e.cam.Match(route, hop); ok {
+	id, ok := e.cam.Match(route, hop)
+	if e.tr != nil {
+		e.tr.CAMLookup(ok)
+	}
+	if ok {
 		return e.saqs[id]
 	}
 	return nil
@@ -215,15 +223,18 @@ func (e *Egress) OnUpstreamNotification(path pkt.Path) {
 			q.PushMarker(s.UID)
 			s.markersPending++
 		}
-		for _, t := range e.saqs {
+		e.ForEachSAQ(func(t *SAQ) {
 			if t != s && path.HasPrefix(t.Path) {
 				t.Q.PushMarker(s.UID)
 				s.markersPending++
 			}
-		}
+		})
 	}
 	e.stats.Allocs++
 	e.stats.MarkersPlaced += uint64(s.markersPending)
+	if e.tr != nil {
+		e.tr.SAQAlloc(s.ID, s.UID, s.Path)
+	}
 }
 
 // ResolveMarker is called by the fabric when an in-order marker reaches
@@ -235,9 +246,9 @@ func (e *Egress) ResolveMarker(uid int) {
 	if s, ok := e.byUID[uid]; ok && s.markersPending > 0 {
 		s.markersPending--
 	}
-	for _, t := range e.saqs {
-		e.maybeDealloc(t)
-	}
+	// CAM-line order, not map order: deallocations send tokens, and
+	// their relative order must be identical across runs.
+	e.ForEachSAQ(e.maybeDealloc)
 }
 
 // OnTokenFromIngress is called (synchronously, same switch) when local
@@ -344,11 +355,13 @@ func (e *Egress) maybeDealloc(s *SAQ) {
 // before any packet arrived still return their tokens and let the tree
 // collapse.
 func (e *Egress) SweepIdle() {
-	for _, s := range e.saqs {
+	// CAM-line order, not map order: deallocations send tokens, and
+	// their relative order must be identical across runs.
+	e.ForEachSAQ(func(s *SAQ) {
 		if s.leaf && len(s.branchOut) == 0 && s.Q.Idle() {
 			e.dealloc(s)
 		}
-	}
+	})
 }
 
 func (e *Egress) dealloc(s *SAQ) {
@@ -356,6 +369,9 @@ func (e *Egress) dealloc(s *SAQ) {
 	delete(e.saqs, s.ID)
 	delete(e.byUID, s.UID)
 	e.stats.Deallocs++
+	if e.tr != nil {
+		e.tr.SAQDealloc(s.ID, s.UID, s.Path)
+	}
 	e.sendToken(s.Path, false)
 }
 

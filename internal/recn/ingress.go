@@ -33,8 +33,12 @@ type Ingress struct {
 	uidSeq  int
 
 	fx    IngressEffects
+	tr    Tracer
 	stats Stats
 }
+
+// SetTracer installs a flight-recorder tap (nil disables tracing).
+func (in *Ingress) SetTracer(tr Tracer) { in.tr = tr }
 
 // NewIngress builds the controller for one input port.
 func NewIngress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, fx IngressEffects) *Ingress {
@@ -66,7 +70,11 @@ func (in *Ingress) Classify(route pkt.Route, hop int) *SAQ {
 	if in.cam.Used() == 0 {
 		return nil
 	}
-	if id, ok := in.cam.Match(route, hop); ok {
+	id, ok := in.cam.Match(route, hop)
+	if in.tr != nil {
+		in.tr.CAMLookup(ok)
+	}
+	if ok {
 		return in.saqs[id]
 	}
 	return nil
@@ -108,15 +116,18 @@ func (in *Ingress) OnNotifyLocal(path pkt.Path) bool {
 			q.PushMarker(s.UID)
 			s.markersPending++
 		}
-		for _, t := range in.saqs {
+		in.ForEachSAQ(func(t *SAQ) {
 			if t != s && path.HasPrefix(t.Path) {
 				t.Q.PushMarker(s.UID)
 				s.markersPending++
 			}
-		}
+		})
 	}
 	in.stats.Allocs++
 	in.stats.MarkersPlaced += uint64(s.markersPending)
+	if in.tr != nil {
+		in.tr.SAQAlloc(s.ID, s.UID, s.Path)
+	}
 	return true
 }
 
@@ -188,9 +199,9 @@ func (in *Ingress) ResolveMarker(uid int) {
 	if s, ok := in.byUID[uid]; ok && s.markersPending > 0 {
 		s.markersPending--
 	}
-	for _, t := range in.saqs {
-		in.maybeDealloc(t)
-	}
+	// CAM-line order, not map order: deallocations send tokens, and
+	// their relative order must be identical across runs.
+	in.ForEachSAQ(in.maybeDealloc)
 }
 
 // EligibleTx reports whether the crossbar arbiter may serve this SAQ.
@@ -237,11 +248,13 @@ func (in *Ingress) maybeDealloc(s *SAQ) {
 // SweepIdle deallocates idle leaf SAQs regardless of use (see
 // Egress.SweepIdle).
 func (in *Ingress) SweepIdle() {
-	for _, s := range in.saqs {
+	// CAM-line order, not map order: deallocations send tokens, and
+	// their relative order must be identical across runs.
+	in.ForEachSAQ(func(s *SAQ) {
 		if s.leaf && !s.sentUpstream && s.Q.Idle() {
 			in.dealloc(s)
 		}
-	}
+	})
 }
 
 func (in *Ingress) dealloc(s *SAQ) {
@@ -250,6 +263,9 @@ func (in *Ingress) dealloc(s *SAQ) {
 	delete(in.byUID, s.UID)
 	in.stats.Deallocs++
 	in.stats.TokensSent++
+	if in.tr != nil {
+		in.tr.SAQDealloc(s.ID, s.UID, s.Path)
+	}
 	in.fx.TokenToEgress(int(s.Path.First()), s.Path.Rest())
 }
 

@@ -210,6 +210,19 @@ func (s *SAQ) Leaf() bool { return s.leaf }
 // and therefore must not transmit (paper §3.8).
 func (s *SAQ) Blocked() bool { return s.markersPending > 0 }
 
+// Tracer observes controller events for the flight recorder. The
+// fabric installs one per port (carrying the port's location); a nil
+// tracer costs one comparison per hook. Implementations must not call
+// back into the controller.
+type Tracer interface {
+	// SAQAlloc / SAQDealloc fire when a CAM line is allocated/released.
+	SAQAlloc(camLine, uid int, path pkt.Path)
+	SAQDealloc(camLine, uid int, path pkt.Path)
+	// CAMLookup fires on every non-trivial CAM classification (the
+	// empty-CAM short circuit is not reported).
+	CAMLookup(hit bool)
+}
+
 // Stats aggregates controller event counters for reporting and tests.
 type Stats struct {
 	Allocs        uint64 // SAQs allocated

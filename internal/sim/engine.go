@@ -9,6 +9,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -59,6 +60,9 @@ func ParseTime(s string) (Time, error) {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("sim: duration %q: %v", s, err)
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("sim: duration %q must be a finite, non-negative value", s)
 	}
 	return Time(v * float64(unit)), nil
 }
@@ -116,6 +120,12 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
+
+// Stamp returns the current time together with the dispatch count — a
+// pair that totally orders observations made by the running simulation
+// (events at the same instant are distinguished by their dispatch
+// sequence). Tracing uses it so exports never depend on wall clock.
+func (e *Engine) Stamp() (Time, uint64) { return e.now, e.Executed }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // it always indicates a model bug (causality violation).

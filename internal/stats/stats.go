@@ -12,11 +12,53 @@ import (
 	"repro/internal/sim"
 )
 
+// Series is any fixed-bin time series (implemented by Throughput's
+// rate view, trace.TimeSeries, ...). It lets Summarize and plotting
+// code consume metrics from any producer.
+type Series interface {
+	// Bin returns the bin width.
+	Bin() sim.Time
+	// Bins returns the number of bins recorded.
+	Bins() int
+	// At returns bin i's value (0 outside the recorded range).
+	At(i int) float64
+}
+
+// SeriesSummary condenses a Series for reports.
+type SeriesSummary struct {
+	Bins      int
+	Mean, Max float64
+	// PeakAt is the start time of the bin holding the maximum.
+	PeakAt sim.Time
+}
+
+// Summarize scans a Series once and returns its summary.
+func Summarize(s Series) SeriesSummary {
+	out := SeriesSummary{Bins: s.Bins()}
+	if out.Bins == 0 {
+		return out
+	}
+	sum := 0.0
+	for i := 0; i < out.Bins; i++ {
+		v := s.At(i)
+		sum += v
+		if v > out.Max {
+			out.Max = v
+			out.PeakAt = s.Bin() * sim.Time(i)
+		}
+	}
+	out.Mean = sum / float64(out.Bins)
+	return out
+}
+
 // Throughput bins delivered bytes over time. Rates are reported in
 // bytes per nanosecond, the paper's unit.
 type Throughput struct {
 	bin   sim.Time
 	bytes []uint64
+	// negDropped counts observations rejected for negative timestamps
+	// (a caller bug — but one the meter must survive, not panic on).
+	negDropped uint64
 }
 
 // NewThroughput creates a meter with the given bin width. A
@@ -29,14 +71,23 @@ func NewThroughput(bin sim.Time) (*Throughput, error) {
 	return &Throughput{bin: bin}, nil
 }
 
-// Add records size bytes delivered at time t.
+// Add records size bytes delivered at time t. Negative times would
+// index out of bounds; they are counted in Dropped and ignored.
 func (m *Throughput) Add(t sim.Time, size int) {
+	if t < 0 {
+		m.negDropped++
+		return
+	}
 	idx := int(t / m.bin)
 	for len(m.bytes) <= idx {
 		m.bytes = append(m.bytes, 0)
 	}
 	m.bytes[idx] += uint64(size)
 }
+
+// Dropped returns how many observations were rejected for negative
+// timestamps.
+func (m *Throughput) Dropped() uint64 { return m.negDropped }
 
 // Bin returns the bin width.
 func (m *Throughput) Bin() sim.Time { return m.bin }
@@ -51,6 +102,10 @@ func (m *Throughput) Rate(i int) float64 {
 	}
 	return float64(m.bytes[i]) / m.bin.Nanos()
 }
+
+// At returns the throughput of bin i in bytes/ns; with Bin and Bins it
+// makes *Throughput satisfy Series.
+func (m *Throughput) At(i int) float64 { return m.Rate(i) }
 
 // Rates returns the whole series in bytes/ns.
 func (m *Throughput) Rates() []float64 {
@@ -98,8 +153,9 @@ type SAQSample struct {
 // SAQSeries records the maximum SAQ usage observed within each time
 // bin (the paper's Figures 4–6 plot these maxima over time).
 type SAQSeries struct {
-	bin  sim.Time
-	maxs []SAQSample
+	bin        sim.Time
+	maxs       []SAQSample
+	negDropped uint64
 }
 
 // NewSAQSeries creates a series with the given bin width. A
@@ -112,7 +168,13 @@ func NewSAQSeries(bin sim.Time) (*SAQSeries, error) {
 }
 
 // Observe folds a sample taken at time t into its bin (keeping maxima).
+// Negative times would index out of bounds; they are counted in
+// Dropped and ignored.
 func (s *SAQSeries) Observe(t sim.Time, sample SAQSample) {
+	if t < 0 {
+		s.negDropped++
+		return
+	}
 	idx := int(t / s.bin)
 	for len(s.maxs) <= idx {
 		s.maxs = append(s.maxs, SAQSample{})
@@ -128,6 +190,10 @@ func (s *SAQSeries) Observe(t sim.Time, sample SAQSample) {
 		m.MaxEgress = sample.MaxEgress
 	}
 }
+
+// Dropped returns how many samples were rejected for negative
+// timestamps.
+func (s *SAQSeries) Dropped() uint64 { return s.negDropped }
 
 // Bins returns the number of bins recorded.
 func (s *SAQSeries) Bins() int { return len(s.maxs) }

@@ -177,3 +177,50 @@ func TestLatencyZeroDuration(t *testing.T) {
 		t.Error("zero-duration observation mishandled")
 	}
 }
+
+// TestNegativeTimeRejected checks that the meters survive observations
+// with negative timestamps (a caller bug that used to index-panic):
+// the sample is counted in Dropped and the series is unaffected.
+func TestNegativeTimeRejected(t *testing.T) {
+	m, err := NewThroughput(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add(-1, 64)
+	m.Add(50, 64)
+	if m.Dropped() != 1 {
+		t.Fatalf("Throughput.Dropped = %d, want 1", m.Dropped())
+	}
+	if m.Total() != 64 || m.Bins() != 1 {
+		t.Fatalf("negative Add leaked into the series: total %d, bins %d", m.Total(), m.Bins())
+	}
+
+	s, err := NewSAQSeries(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(-5, SAQSample{Total: 9})
+	s.Observe(50, SAQSample{Total: 2})
+	if s.Dropped() != 1 {
+		t.Fatalf("SAQSeries.Dropped = %d, want 1", s.Dropped())
+	}
+	if p := s.Peak(); p.Total != 2 {
+		t.Fatalf("negative Observe leaked into the series: peak %+v", p)
+	}
+}
+
+// TestThroughputSeries checks *Throughput satisfies Series and that
+// Summarize matches its own accounting.
+func TestThroughputSeries(t *testing.T) {
+	var _ Series = (*Throughput)(nil)
+	m, err := NewThroughput(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add(0, 500)
+	m.Add(1500, 1500)
+	sum := Summarize(m)
+	if sum.Bins != 2 || sum.Max != 1500 || sum.PeakAt != 1000 || sum.Mean != 1000 {
+		t.Fatalf("summary %+v, want 2 bins, mean 1000, max 1500 B/ns at bin 1", sum)
+	}
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Fields are marshalled in struct order, so output is deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int64          `json:"pid"`
+	Tid   int64          `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome pid/tid mapping: each node (switch or NIC) is a "process";
+// each port direction is a "thread" within it. DirNet events go to a
+// dedicated pid.
+func chromePid(l Loc) int64 {
+	switch l.Dir {
+	case DirIn, DirOut:
+		return int64(l.Node) + 1 // switches: pid 1..N
+	case DirInj, DirHost:
+		return 10_000 + int64(l.Node) // hosts/NICs
+	default:
+		return 99_999 // network-wide
+	}
+}
+
+func chromeTid(l Loc) int64 {
+	switch l.Dir {
+	case DirIn:
+		return int64(l.Port)*2 + 1
+	case DirOut:
+		return int64(l.Port)*2 + 2
+	case DirInj:
+		return 1
+	case DirHost:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func tidName(l Loc) string {
+	switch l.Dir {
+	case DirIn:
+		return fmt.Sprintf("in%d", l.Port)
+	case DirOut:
+		return fmt.Sprintf("out%d", l.Port)
+	case DirInj:
+		return "inj"
+	case DirHost:
+		return "host"
+	default:
+		return "net"
+	}
+}
+
+func pidName(l Loc) string {
+	switch l.Dir {
+	case DirIn, DirOut:
+		return fmt.Sprintf("switch %d", l.Node)
+	case DirInj, DirHost:
+		return fmt.Sprintf("host %d", l.Node)
+	default:
+		return "network"
+	}
+}
+
+// ts converts a picosecond sim time to trace_event microseconds.
+func chromeTs(e Event) float64 { return float64(e.At) / 1e6 }
+
+// WriteChromeTrace exports the retained events (and, when enabled, the
+// metrics registry as counter tracks) in Chrome trace_event JSON.
+// SAQ lifecycles become async nestable spans — named by the resolved
+// congestion root, id-keyed by location+UID so overlapping lifecycles
+// on one port render as separate slices — and every other event an
+// instant. The output is byte-deterministic for a given recording.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+
+	// Metadata: name every pid/tid we will reference, in first-seen
+	// order (deterministic: derived from the event sequence).
+	type pt struct{ pid, tid int64 }
+	seenPid := map[int64]bool{}
+	seenTid := map[pt]bool{}
+	meta := []chromeEvent{}
+	note := func(l Loc) {
+		pid, tid := chromePid(l), chromeTid(l)
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": pidName(l)},
+			})
+		}
+		if k := (pt{pid, tid}); !seenTid[k] {
+			seenTid[k] = true
+			meta = append(meta, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": tidName(l)},
+			})
+		}
+	}
+
+	body := []chromeEvent{}
+	for _, e := range events {
+		note(e.Loc)
+		pid, tid := chromePid(e.Loc), chromeTid(e.Loc)
+		switch e.Kind {
+		case EvSAQAlloc, EvSAQDealloc:
+			ph := "b"
+			if e.Kind == EvSAQDealloc {
+				ph = "e"
+			}
+			body = append(body, chromeEvent{
+				Name: "SAQ " + r.RootOf(e),
+				Cat:  "saq",
+				Ph:   ph,
+				Ts:   chromeTs(e),
+				Pid:  pid, Tid: tid,
+				ID: fmt.Sprintf("%s#%d", e.Loc, e.B),
+				Args: map[string]any{
+					"line": e.A, "uid": e.B, "path": PathString(e.Tag),
+				},
+			})
+		default:
+			ce := chromeEvent{
+				Name:  e.Kind.String(),
+				Cat:   e.Kind.String(),
+				Ph:    "i",
+				Scope: "t",
+				Ts:    chromeTs(e),
+				Pid:   pid, Tid: tid,
+			}
+			if d := e.Detail(); d != "" {
+				ce.Args = map[string]any{"detail": d}
+			}
+			body = append(body, ce)
+		}
+	}
+
+	// Counter tracks from the metrics registry, in sorted series-name
+	// order. All-zero series (idle ports) are omitted, and within a
+	// series a counter event is emitted only when the value changes —
+	// trace viewers hold the last value, so flat stretches would only
+	// bloat the file (a large fabric samples thousands of series).
+	counters := []chromeEvent{}
+	if m := r.Metrics(); m != nil {
+		m.Each(func(s *TimeSeries) {
+			if s.Max() == 0 {
+				return
+			}
+			last, started := 0.0, false
+			for i := 0; i < s.Bins(); i++ {
+				if !s.set[i] {
+					continue
+				}
+				v := s.At(i)
+				if started && v == last {
+					continue
+				}
+				last, started = v, true
+				counters = append(counters, chromeEvent{
+					Name: s.Name(),
+					Ph:   "C",
+					Ts:   float64(int64(s.Bin())*int64(i)) / 1e6,
+					Pid:  99_998,
+					Args: map[string]any{"value": v},
+				})
+			}
+		})
+		if len(counters) > 0 {
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: 99_998,
+				Args: map[string]any{"name": "metrics"},
+			})
+		}
+	}
+
+	out.TraceEvents = append(out.TraceEvents, meta...)
+	out.TraceEvents = append(out.TraceEvents, body...)
+	out.TraceEvents = append(out.TraceEvents, counters...)
+
+	// Compact encoding: traces from a busy fabric run to millions of
+	// entries, and viewers don't care about whitespace.
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// WriteText exports the retained events as a plain-text log, one line
+// per event: time, dispatch sequence, location, kind, detail.
+func (r *Recorder) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if n := r.Overwritten(); n > 0 {
+		fmt.Fprintf(bw, "# ring overwrote %d earlier events (%d recorded, %d retained)\n",
+			n, r.Total(), r.Len())
+	}
+	for _, e := range r.Events() {
+		fmt.Fprintf(bw, "%12v  #%-8d %-12s %-12s %s\n",
+			e.At, e.Exec, e.Loc.String(), e.Kind.String(), e.Detail())
+	}
+	return bw.Flush()
+}
+
+// Tree is one reconstructed congestion tree: every SAQ/token/flow
+// event that resolves to the same congestion root, from birth (first
+// SAQ allocation) to death (last deallocation).
+type Tree struct {
+	// Root names the congestion root ("sw3.out5") the tree grew from.
+	Root string
+	// Born is the time of the first SAQ allocation; Died of the last
+	// deallocation. Died < Born means the tree was still alive (or its
+	// birth was overwritten in the ring) when the recording ended.
+	Born, Died sim.Time
+	// Allocs / Deallocs count SAQ lifecycle events; Tokens counts token
+	// moves; Notifies congestion notifications; Xoffs/Xons flow control.
+	Allocs, Deallocs, Tokens, Notifies, Xoffs, Xons int
+	// PeakSAQs is the largest number of simultaneously live SAQs.
+	PeakSAQs int
+	// Events holds the tree's events in recording order.
+	Events []Event
+
+	live int
+}
+
+// Trees reconstructs the congestion-tree timelines from the retained
+// events. Trees are returned in order of first appearance (birth),
+// which is deterministic for a given recording.
+func (r *Recorder) Trees() []*Tree {
+	byRoot := map[string]*Tree{}
+	var order []*Tree
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case EvSAQAlloc, EvSAQDealloc, EvToken, EvNotify, EvXoff, EvXon:
+		default:
+			continue
+		}
+		root := r.RootOf(e)
+		t := byRoot[root]
+		if t == nil {
+			t = &Tree{Root: root, Born: -1, Died: -1}
+			byRoot[root] = t
+			order = append(order, t)
+		}
+		t.Events = append(t.Events, e)
+		switch e.Kind {
+		case EvSAQAlloc:
+			t.Allocs++
+			t.live++
+			if t.live > t.PeakSAQs {
+				t.PeakSAQs = t.live
+			}
+			if t.Born < 0 {
+				t.Born = e.At
+			}
+		case EvSAQDealloc:
+			t.Deallocs++
+			if t.live > 0 {
+				t.live--
+			}
+			if t.live == 0 {
+				t.Died = e.At
+			}
+		case EvToken:
+			t.Tokens++
+		case EvNotify:
+			t.Notifies++
+		case EvXoff:
+			t.Xoffs++
+		case EvXon:
+			t.Xons++
+		}
+	}
+	return order
+}
+
+// WriteTrees exports the congestion-tree lifecycle timeline as text:
+// one header per tree (root, birth→death, totals) followed by the
+// tree's events in chronological order.
+func (r *Recorder) WriteTrees(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	trees := r.Trees()
+	if len(trees) == 0 {
+		fmt.Fprintln(bw, "no congestion trees observed")
+		return bw.Flush()
+	}
+	for i, t := range trees {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		died := "still alive at end of recording"
+		if t.Died >= t.Born && t.Born >= 0 {
+			died = fmt.Sprintf("died %v", t.Died)
+		}
+		fmt.Fprintf(bw, "tree rooted at %s: born %v, %s — %d allocs, %d deallocs, %d tokens, %d notifies, %d xoff, %d xon, peak %d SAQs\n",
+			t.Root, t.Born, died,
+			t.Allocs, t.Deallocs, t.Tokens, t.Notifies, t.Xoffs, t.Xons, t.PeakSAQs)
+		for _, e := range t.Events {
+			fmt.Fprintf(bw, "  %12v  %-12s %-12s %s\n",
+				e.At, e.Loc.String(), e.Kind.String(), e.Detail())
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TimeSeries is one fixed-bin metric series (per-port occupancy, queue
+// depth, SAQ count, ...). Each bin keeps the maximum value observed in
+// it, which is the right reduction for occupancy-style gauges: peaks
+// are what congestion analysis cares about and what a sampled Chrome
+// counter track should show. It implements stats.Series.
+type TimeSeries struct {
+	name string
+	bin  sim.Time
+	vals []float64
+	set  []bool
+}
+
+var _ stats.Series = (*TimeSeries)(nil)
+
+// Name returns the series name ("sw3.out5/occ", "nic7.inj/saqs", ...).
+func (s *TimeSeries) Name() string { return s.name }
+
+// Bin returns the series' bin width.
+func (s *TimeSeries) Bin() sim.Time { return s.bin }
+
+// Bins returns the number of bins the series spans.
+func (s *TimeSeries) Bins() int { return len(s.vals) }
+
+// At returns bin i's value (0 when the bin was never observed).
+func (s *TimeSeries) At(i int) float64 {
+	if i < 0 || i >= len(s.vals) {
+		return 0
+	}
+	return s.vals[i]
+}
+
+// Max returns the largest observed value across all bins.
+func (s *TimeSeries) Max() float64 {
+	max := 0.0
+	for i, v := range s.vals {
+		if s.set[i] && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (s *TimeSeries) observe(t sim.Time, v float64) {
+	idx := int(t / s.bin)
+	for idx >= len(s.vals) {
+		s.vals = append(s.vals, 0)
+		s.set = append(s.set, false)
+	}
+	if !s.set[idx] || v > s.vals[idx] {
+		s.vals[idx] = v
+		s.set[idx] = true
+	}
+}
+
+// Metrics is the time-series registry. Series are created on first
+// observation; the fabric pre-builds the name strings once per port so
+// the sampling path does not format strings.
+type Metrics struct {
+	bin     sim.Time
+	series  map[string]*TimeSeries
+	dropped uint64
+}
+
+func newMetrics(bin sim.Time) *Metrics {
+	return &Metrics{bin: bin, series: make(map[string]*TimeSeries)}
+}
+
+// Bin returns the sampling period.
+func (m *Metrics) Bin() sim.Time { return m.bin }
+
+// Observe records value v for series name at time t. Negative times
+// and non-finite values are counted and dropped rather than panicking —
+// the registry must never take the simulation down.
+func (m *Metrics) Observe(name string, t sim.Time, v float64) {
+	if t < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		m.dropped++
+		return
+	}
+	s := m.series[name]
+	if s == nil {
+		s = &TimeSeries{name: name, bin: m.bin}
+		m.series[name] = s
+	}
+	s.observe(t, v)
+}
+
+// Dropped returns how many observations were rejected (negative time
+// or non-finite value).
+func (m *Metrics) Dropped() uint64 { return m.dropped }
+
+// Series returns the series with the given name, or nil.
+func (m *Metrics) Series(name string) *TimeSeries { return m.series[name] }
+
+// Names returns all series names in sorted (deterministic) order.
+func (m *Metrics) Names() []string { return sortedNames(m.series) }
+
+// Each calls fn for every series in sorted name order.
+func (m *Metrics) Each(fn func(*TimeSeries)) {
+	for _, name := range m.Names() {
+		fn(m.series[name])
+	}
+}
+
+// String summarises the registry for logs.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("trace.Metrics{bin=%v series=%d dropped=%d}", m.bin, len(m.series), m.dropped)
+}

@@ -1,0 +1,469 @@
+// Package trace is the simulator's flight recorder: a fixed-size ring
+// buffer of typed events (packet movement, SAQ lifecycle, CAM lookups,
+// RECN control traffic, faults and watchdog actions) plus a per-port /
+// per-SAQ time-series metrics registry, with exporters for the Chrome
+// trace_event JSON format (chrome://tracing, Perfetto), a plain-text
+// event log, and a congestion-tree lifecycle timeline.
+//
+// The design contract is "cheap enough to leave compiled in": with no
+// recorder attached the fabric's hot paths pay a single nil comparison
+// per hook point and allocate nothing. With a recorder attached,
+// recording one event is a mask test plus a ring-slot store — no
+// allocation, no locking (the simulation is single-threaded), and no
+// wall-clock reads: every event is stamped with the engine's
+// deterministic (time, dispatch-sequence) pair, so two runs of the same
+// seeded scenario export byte-identical traces.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// EventKind enumerates the typed events the recorder understands.
+type EventKind uint8
+
+const (
+	// EvSend: a data packet was granted link transmission at an egress
+	// or NIC injection port. A=packet ID, B=size, C=src<<32|dst.
+	EvSend EventKind = iota
+	// EvRecv: a data packet arrived at a switch input port (or, with
+	// Dir=DirHost, was delivered to its host). Args as EvSend.
+	EvRecv
+	// EvDrop: a message was discarded at a host because its admittance
+	// queue was full (AdmitCap). A=destination, B=message size.
+	EvDrop
+	// EvSAQAlloc / EvSAQDealloc: a set-aside queue (CAM line) was
+	// allocated / released. A=CAM line, B=UID, Tag=path key.
+	EvSAQAlloc
+	EvSAQDealloc
+	// EvCAMHit / EvCAMMiss: a CAM lookup classified a packet into a SAQ
+	// (hit) or the normal queue (miss). Only recorded while the port's
+	// CAM is non-empty — an empty CAM is a trivial miss.
+	EvCAMHit
+	EvCAMMiss
+	// EvNotify: a congestion notification was issued. A=1 for internal
+	// (egress → same-switch ingress; Loc is the receiving ingress),
+	// 0 for external (ingress → upstream over the link); B=1 when an
+	// internal notification was accepted (a SAQ was allocated).
+	EvNotify
+	// EvToken: a congestion-tree token moved. A=1 when refused (bounced
+	// off a full CAM), B=1 for the internal ingress→egress move (Loc is
+	// the receiving egress port).
+	EvToken
+	// EvXoff / EvXon: per-SAQ stop/go flow control sent upstream.
+	EvXoff
+	EvXon
+	// EvCredit: a flow-control credit return was queued on the reverse
+	// link. A=bytes, B=remote queue index (-1 = port-level).
+	EvCredit
+	// EvFault: an injected fault fired. Tag=targeted message kind,
+	// A unused, B=fault action (FaultDrop..FaultLinkUp), C=delay in ps.
+	EvFault
+	// EvWatchdog: the recovery layer acted. A=action
+	// (WatchStall..WatchCreditViolation), B=count or bytes.
+	EvWatchdog
+
+	numEventKinds
+)
+
+var kindNames = [numEventKinds]string{
+	"send", "recv", "drop", "saq-alloc", "saq-dealloc", "cam-hit", "cam-miss",
+	"notify", "token", "xoff", "xon", "credit", "fault", "watchdog",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Mask selects a set of event kinds (one bit per EventKind).
+type Mask uint32
+
+// AllEvents enables every event kind.
+const AllEvents Mask = 1<<numEventKinds - 1
+
+// Has reports whether kind k is enabled.
+func (m Mask) Has(k EventKind) bool { return m&(1<<k) != 0 }
+
+// With returns the mask with kind k enabled.
+func (m Mask) With(k EventKind) Mask { return m | 1<<k }
+
+// maskGroups are the spec aliases accepted by ParseEvents, each
+// covering one or more kinds.
+var maskGroups = []struct {
+	name string
+	mask Mask
+}{
+	{"all", AllEvents},
+	{"packet", 1<<EvSend | 1<<EvRecv | 1<<EvDrop},
+	{"saq", 1<<EvSAQAlloc | 1<<EvSAQDealloc},
+	{"cam", 1<<EvCAMHit | 1<<EvCAMMiss},
+	{"flow", 1<<EvXoff | 1<<EvXon},
+	{"tree", 1<<EvSAQAlloc | 1<<EvSAQDealloc | 1<<EvToken | 1<<EvNotify},
+}
+
+// ParseEvents parses a comma-separated event spec ("saq,token" or
+// group aliases like "packet", "tree", "all") into a Mask. The error
+// for an unknown name lists every valid value.
+func ParseEvents(spec string) (Mask, error) {
+	var m Mask
+next:
+	for _, field := range strings.Split(spec, ",") {
+		name := strings.ToLower(strings.TrimSpace(field))
+		if name == "" {
+			continue
+		}
+		for k := EventKind(0); k < numEventKinds; k++ {
+			if name == kindNames[k] {
+				m = m.With(k)
+				continue next
+			}
+		}
+		for _, g := range maskGroups {
+			if name == g.name {
+				m |= g.mask
+				continue next
+			}
+		}
+		return 0, fmt.Errorf("trace: unknown event kind %q (valid: %s)", name, ValidEventNames())
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("trace: empty event spec (valid: %s)", ValidEventNames())
+	}
+	return m, nil
+}
+
+// ValidEventNames returns every name ParseEvents accepts, for error
+// messages and usage strings.
+func ValidEventNames() string {
+	names := make([]string, 0, int(numEventKinds)+len(maskGroups))
+	names = append(names, kindNames[:]...)
+	for _, g := range maskGroups {
+		names = append(names, g.name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Dir distinguishes the port roles a Loc can name.
+type Dir uint8
+
+const (
+	// DirIn is a switch input port; DirOut a switch output port.
+	DirIn Dir = iota
+	DirOut
+	// DirInj is a NIC injection port; DirHost the host reception side.
+	DirInj
+	DirHost
+	// DirNet marks network-wide events (watchdog stalls).
+	DirNet
+)
+
+// Loc identifies the port (or unit) an event happened at. Node is the
+// switch ID for DirIn/DirOut, the host ID for DirInj/DirHost, and -1
+// for DirNet.
+type Loc struct {
+	Node int32
+	Port int32
+	Dir  Dir
+}
+
+// NetLoc is the network-wide location.
+var NetLoc = Loc{Node: -1, Dir: DirNet}
+
+func (l Loc) String() string {
+	switch l.Dir {
+	case DirIn:
+		return fmt.Sprintf("sw%d.in%d", l.Node, l.Port)
+	case DirOut:
+		return fmt.Sprintf("sw%d.out%d", l.Node, l.Port)
+	case DirInj:
+		return fmt.Sprintf("nic%d.inj", l.Node)
+	case DirHost:
+		return fmt.Sprintf("host%d", l.Node)
+	default:
+		return "net"
+	}
+}
+
+// Fault actions (EvFault.B).
+const (
+	FaultDrop int64 = iota + 1
+	FaultDup
+	FaultDelay
+	FaultCorrupt
+	FaultLinkDown
+	FaultLinkUp
+)
+
+// Watchdog actions (EvWatchdog.A).
+const (
+	WatchStall int64 = iota + 1
+	WatchSAQReclaim
+	WatchXoffResend
+	WatchXonOverride
+	WatchCreditResync
+	WatchCreditViolation
+)
+
+var faultActionNames = []string{"?", "drop", "dup", "delay", "corrupt", "link-down", "link-up"}
+var watchActionNames = []string{"?", "stall", "saq-reclaim", "xoff-resend", "xon-override", "credit-resync", "credit-violation"}
+
+func nameIn(names []string, i int64) string {
+	if i >= 0 && int(i) < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("%s(%d)", names[0], i)
+}
+
+// Event is one ring-buffer slot. Events are fixed-size values; the only
+// pointer-ish field (Tag) aliases strings that already exist elsewhere
+// (path keys, fault-kind names), so recording never allocates.
+type Event struct {
+	// At is the simulation time; Exec the engine's dispatch count at
+	// record time; Seq the recorder's own strictly increasing sequence.
+	// (At, Exec, Seq) totally orders events deterministically.
+	At   sim.Time
+	Exec uint64
+	Seq  uint64
+
+	Kind EventKind
+	Loc  Loc
+
+	// Tag carries the RECN path key for SAQ/control events (raw turn
+	// bytes — render with PathString) and the targeted message kind for
+	// EvFault. Empty otherwise.
+	Tag string
+
+	// A, B, C are kind-specific arguments; see the EventKind docs.
+	A, B, C int64
+}
+
+// PathString renders a raw path key (as stored in Event.Tag) in the
+// dotted turn notation used by pkt.Path.String.
+func PathString(key string) string {
+	if key == "" {
+		return "<root>"
+	}
+	var sb strings.Builder
+	for i := 0; i < len(key); i++ {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		fmt.Fprintf(&sb, "%d", key[i])
+	}
+	return sb.String()
+}
+
+// Detail renders the kind-specific arguments for the text exporter.
+func (e Event) Detail() string {
+	switch e.Kind {
+	case EvSend, EvRecv:
+		return fmt.Sprintf("pkt %d %d→%d %dB", e.A, e.C>>32, e.C&0xffffffff, e.B)
+	case EvDrop:
+		return fmt.Sprintf("msg →%d %dB (admittance full)", e.A, e.B)
+	case EvSAQAlloc, EvSAQDealloc:
+		return fmt.Sprintf("line %d uid %d path %s", e.A, e.B, PathString(e.Tag))
+	case EvCAMHit, EvCAMMiss:
+		return ""
+	case EvNotify:
+		kind := "external"
+		if e.A != 0 {
+			kind = "internal"
+			if e.B == 0 {
+				kind = "internal refused"
+			}
+		}
+		return fmt.Sprintf("%s path %s", kind, PathString(e.Tag))
+	case EvToken:
+		var notes []string
+		if e.A != 0 {
+			notes = append(notes, "refused")
+		}
+		if e.B != 0 {
+			notes = append(notes, "internal")
+		}
+		s := fmt.Sprintf("path %s", PathString(e.Tag))
+		if len(notes) > 0 {
+			s += " (" + strings.Join(notes, ", ") + ")"
+		}
+		return s
+	case EvXoff, EvXon:
+		return fmt.Sprintf("path %s", PathString(e.Tag))
+	case EvCredit:
+		return fmt.Sprintf("%dB queue %d", e.A, e.B)
+	case EvFault:
+		s := fmt.Sprintf("%s %s", nameIn(faultActionNames, e.B), e.Tag)
+		if e.B == FaultDelay {
+			s += fmt.Sprintf(" +%v", sim.Time(e.C))
+		}
+		return s
+	case EvWatchdog:
+		return fmt.Sprintf("%s ×%d", nameIn(watchActionNames, e.A), e.B)
+	default:
+		return ""
+	}
+}
+
+// Config configures a Recorder. The zero value records every event
+// kind into a 65536-slot ring with metrics sampling disabled.
+type Config struct {
+	// BufferEvents is the ring capacity; older events are overwritten
+	// once it fills (flight-recorder semantics). Default 65536.
+	BufferEvents int
+	// Events selects the recorded kinds; zero means AllEvents.
+	Events Mask
+	// MetricsBin, when positive, enables the time-series metrics
+	// registry: the fabric samples per-port occupancy, queue depth,
+	// SAQ counts and per-SAQ occupancy once per bin.
+	MetricsBin sim.Time
+}
+
+const defaultBufferEvents = 1 << 16
+
+// Recorder is a bound flight recorder. Create one with New, pass it to
+// the fabric (fabric.Config.Tracer), and export after the run.
+// Recorders are single-use: they bind to exactly one engine.
+type Recorder struct {
+	cfg  Config
+	mask Mask
+
+	eng     *sim.Engine
+	resolve func(Loc, string) string
+
+	ring  []Event
+	total uint64
+
+	metrics *Metrics
+}
+
+// New builds a recorder from a config (see Config for defaults).
+func New(cfg Config) *Recorder {
+	if cfg.BufferEvents <= 0 {
+		cfg.BufferEvents = defaultBufferEvents
+	}
+	if cfg.Events == 0 {
+		cfg.Events = AllEvents
+	}
+	if cfg.MetricsBin < 0 {
+		cfg.MetricsBin = 0
+	}
+	r := &Recorder{
+		cfg:  cfg,
+		mask: cfg.Events,
+		ring: make([]Event, cfg.BufferEvents),
+	}
+	if cfg.MetricsBin > 0 {
+		r.metrics = newMetrics(cfg.MetricsBin)
+	}
+	return r
+}
+
+// Bind attaches the recorder to the engine whose clock stamps every
+// event, plus an optional resolver that maps (location, path key) to a
+// congestion-root name for the tree timeline. Recorders are single-use;
+// binding twice is an error (mirroring fault.Plan).
+func (r *Recorder) Bind(eng *sim.Engine, resolve func(Loc, string) string) error {
+	if r.eng != nil {
+		return fmt.Errorf("trace: recorder already bound (recorders are single-use; create one per network)")
+	}
+	if eng == nil {
+		return fmt.Errorf("trace: Bind with nil engine")
+	}
+	r.eng = eng
+	r.resolve = resolve
+	return nil
+}
+
+// Enabled reports whether kind k is being recorded.
+func (r *Recorder) Enabled(k EventKind) bool { return r.mask.Has(k) }
+
+// MetricsBin returns the metrics sampling period (0 = disabled).
+func (r *Recorder) MetricsBin() sim.Time { return r.cfg.MetricsBin }
+
+// Metrics returns the time-series registry (nil when disabled).
+func (r *Recorder) Metrics() *Metrics { return r.metrics }
+
+// Record appends one event to the ring. It is the single hot-path
+// entry point: a mask test, an engine stamp and a slot store — no
+// allocation. tag must alias an existing string (path key, kind name).
+func (r *Recorder) Record(k EventKind, loc Loc, tag string, a, b, c int64) {
+	if r.mask&(1<<k) == 0 {
+		return
+	}
+	var at sim.Time
+	var exec uint64
+	if r.eng != nil {
+		at, exec = r.eng.Stamp()
+	}
+	r.ring[r.total%uint64(len(r.ring))] = Event{
+		At: at, Exec: exec, Seq: r.total + 1,
+		Kind: k, Loc: loc, Tag: tag, A: a, B: b, C: c,
+	}
+	r.total++
+}
+
+// RecordPacket records a packet movement event.
+func (r *Recorder) RecordPacket(k EventKind, loc Loc, id uint64, size, src, dst int) {
+	r.Record(k, loc, "", int64(id), int64(size), int64(src)<<32|int64(dst))
+}
+
+// Total returns how many events were recorded over the recorder's
+// lifetime, including ones the ring has since overwritten.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Overwritten returns how many recorded events the ring lost.
+func (r *Recorder) Overwritten() uint64 {
+	if n := uint64(len(r.ring)); r.total > n {
+		return r.total - n
+	}
+	return 0
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	if r.total < uint64(len(r.ring)) {
+		return int(r.total)
+	}
+	return len(r.ring)
+}
+
+// Events returns the retained events in recording order (which is also
+// (At, Exec, Seq) order — the simulation is single-threaded).
+func (r *Recorder) Events() []Event {
+	n := uint64(len(r.ring))
+	out := make([]Event, 0, r.Len())
+	start := uint64(0)
+	if r.total > n {
+		start = r.total - n
+	}
+	for i := start; i < r.total; i++ {
+		out = append(out, r.ring[i%n])
+	}
+	return out
+}
+
+// RootOf resolves the congestion-tree root an event belongs to, using
+// the resolver installed at Bind. Without one (unit tests) it falls
+// back to a location-qualified path string.
+func (r *Recorder) RootOf(e Event) string {
+	if r.resolve != nil {
+		return r.resolve(e.Loc, e.Tag)
+	}
+	return e.Loc.String() + "/" + PathString(e.Tag)
+}
+
+// sortedNames returns map keys in deterministic order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestParseEvents(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Mask
+	}{
+		{"all", AllEvents},
+		{"send", 1 << EvSend},
+		{"saq", 1<<EvSAQAlloc | 1<<EvSAQDealloc},
+		{"saq,token", 1<<EvSAQAlloc | 1<<EvSAQDealloc | 1<<EvToken},
+		{"tree", 1<<EvSAQAlloc | 1<<EvSAQDealloc | 1<<EvToken | 1<<EvNotify},
+		{" SAQ , Token ", 1<<EvSAQAlloc | 1<<EvSAQDealloc | 1<<EvToken}, // case/space-insensitive
+	}
+	for _, c := range cases {
+		got, err := ParseEvents(c.spec)
+		if err != nil {
+			t.Errorf("ParseEvents(%q): %v", c.spec, err)
+		} else if got != c.want {
+			t.Errorf("ParseEvents(%q) = %b, want %b", c.spec, got, c.want)
+		}
+	}
+	for _, spec := range []string{"", "bogus", "saq,bogus", ","} {
+		_, err := ParseEvents(spec)
+		if err == nil {
+			t.Errorf("ParseEvents(%q): want error", spec)
+			continue
+		}
+		// The error must teach the valid vocabulary.
+		if !strings.Contains(err.Error(), "saq-alloc") || !strings.Contains(err.Error(), "tree") {
+			t.Errorf("ParseEvents(%q) error %q does not list valid names", spec, err)
+		}
+	}
+}
+
+func TestMaskGating(t *testing.T) {
+	r := New(Config{Events: 1<<EvSAQAlloc | 1<<EvSAQDealloc, BufferEvents: 16})
+	r.RecordPacket(EvSend, Loc{Node: 1, Dir: DirOut}, 1, 64, 0, 5) // masked out
+	r.Record(EvSAQAlloc, Loc{Node: 1, Dir: DirIn}, "", 0, 1, 0)
+	if r.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 (send masked out)", r.Total())
+	}
+	if !r.Enabled(EvSAQAlloc) || r.Enabled(EvSend) {
+		t.Fatalf("Enabled: alloc=%v send=%v", r.Enabled(EvSAQAlloc), r.Enabled(EvSend))
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := New(Config{BufferEvents: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(EvCredit, NetLoc, "", int64(i), 0, 0)
+	}
+	if r.Total() != 10 || r.Overwritten() != 6 || r.Len() != 4 {
+		t.Fatalf("Total=%d Overwritten=%d Len=%d, want 10/6/4", r.Total(), r.Overwritten(), r.Len())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d Seq = %d, want %d (oldest retained first)", i, e.Seq, want)
+		}
+		if want := int64(6 + i); e.A != want {
+			t.Errorf("event %d A = %d, want %d", i, e.A, want)
+		}
+	}
+}
+
+func TestRecordNoAlloc(t *testing.T) {
+	r := New(Config{Events: 1 << EvSAQAlloc, BufferEvents: 8})
+	loc := Loc{Node: 3, Port: 2, Dir: DirIn}
+	if n := testing.AllocsPerRun(100, func() {
+		r.Record(EvSAQAlloc, loc, "\x01\x02", 0, 1, 0)
+	}); n != 0 {
+		t.Errorf("enabled Record allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		r.Record(EvSend, loc, "", 0, 0, 0) // masked out
+	}); n != 0 {
+		t.Errorf("masked Record allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestBindSingleUse(t *testing.T) {
+	r := New(Config{})
+	if err := r.Bind(nil, nil); err == nil {
+		t.Fatal("Bind(nil) succeeded")
+	}
+	eng := sim.NewEngine()
+	if err := r.Bind(eng, nil); err != nil {
+		t.Fatalf("first Bind: %v", err)
+	}
+	if err := r.Bind(eng, nil); err == nil {
+		t.Fatal("second Bind succeeded; recorders must be single-use")
+	}
+}
+
+// recordLifecycle plays one SAQ alloc → token → dealloc sequence
+// through a bound engine so events carry real (time, dispatch) stamps.
+func recordLifecycle(t *testing.T) *Recorder {
+	t.Helper()
+	r := New(Config{BufferEvents: 64})
+	eng := sim.NewEngine()
+	if err := r.Bind(eng, nil); err != nil {
+		t.Fatal(err)
+	}
+	in := Loc{Node: 3, Port: 2, Dir: DirIn}
+	eng.Schedule(10*sim.Nanosecond, func() { r.Record(EvSAQAlloc, in, "", 0, 1, 0) })
+	eng.Schedule(15*sim.Nanosecond, func() { r.Record(EvNotify, in, "", 1, 1, 0) })
+	eng.Schedule(40*sim.Nanosecond, func() { r.Record(EvSAQDealloc, in, "", 0, 1, 0) })
+	eng.Schedule(40*sim.Nanosecond, func() { r.Record(EvToken, in, "", 0, 1, 0) })
+	eng.Drain()
+	return r
+}
+
+func TestTrees(t *testing.T) {
+	r := recordLifecycle(t)
+	trees := r.Trees()
+	if len(trees) != 1 {
+		t.Fatalf("Trees = %d, want 1", len(trees))
+	}
+	tr := trees[0]
+	if tr.Allocs != 1 || tr.Deallocs != 1 || tr.Tokens != 1 || tr.Notifies != 1 {
+		t.Fatalf("tree counts %+v, want 1 alloc/dealloc/token/notify", tr)
+	}
+	if tr.Born != 10*sim.Nanosecond || tr.Died != 40*sim.Nanosecond {
+		t.Fatalf("born %v died %v, want 10ns/40ns", tr.Born, tr.Died)
+	}
+	if tr.PeakSAQs != 1 {
+		t.Fatalf("PeakSAQs = %d, want 1", tr.PeakSAQs)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteTrees(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "born 10.000ns, died 40.000ns") {
+		t.Errorf("WriteTrees output missing lifecycle header:\n%s", buf.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := recordLifecycle(t)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"saq-alloc", "saq-dealloc", "token", "sw3.in2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	r := recordLifecycle(t)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			ID   string  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var begin, end int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "b":
+			begin++
+			if e.Ts != 0.01 { // 10 ns in µs
+				t.Errorf("span begin ts = %v, want 0.01", e.Ts)
+			}
+		case "e":
+			end++
+		}
+	}
+	if begin != 1 || end != 1 {
+		t.Fatalf("span events b=%d e=%d, want one matched pair", begin, end)
+	}
+}
+
+func TestMetricsRejectsBadSamples(t *testing.T) {
+	m := newMetrics(100)
+	m.Observe("x", -1, 1)
+	nan := 0.0
+	m.Observe("x", 5, nan/nan) // NaN
+	m.Observe("x", 250, 3)
+	if m.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", m.Dropped())
+	}
+	s := m.Series("x")
+	if s == nil || s.At(2) != 3 {
+		t.Fatalf("series missing valid sample: %+v", s)
+	}
+}
+
+// TestSeriesSummarize checks the stats.Series integration: the same
+// Summarize the figure tables use works on a trace TimeSeries.
+func TestSeriesSummarize(t *testing.T) {
+	m := newMetrics(100)
+	m.Observe("occ", 50, 2)  // bin 0
+	m.Observe("occ", 120, 8) // bin 1
+	m.Observe("occ", 130, 6) // bin 1: max-reduced, keeps 8
+	m.Observe("occ", 250, 4) // bin 2
+	sum := stats.Summarize(m.Series("occ"))
+	if sum.Bins != 3 || sum.Max != 8 || sum.PeakAt != 100 {
+		t.Fatalf("summary %+v, want 3 bins, max 8 at 100ps", sum)
+	}
+	if want := (2.0 + 8 + 4) / 3; sum.Mean != want {
+		t.Fatalf("mean %v, want %v", sum.Mean, want)
+	}
+}

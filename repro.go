@@ -37,6 +37,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -83,7 +84,33 @@ type (
 	FaultRecovery = fault.Recovery
 	// FaultReport accounts injected faults and recovery actions.
 	FaultReport = stats.FaultReport
+	// TraceConfig configures the flight recorder (ring size, event
+	// mask, metrics sampling period).
+	TraceConfig = trace.Config
+	// TraceRecorder is a bound flight recorder; export its contents
+	// with WriteChromeTrace, WriteText or WriteTrees after the run.
+	TraceRecorder = trace.Recorder
+	// TraceMask selects which event kinds are recorded.
+	TraceMask = trace.Mask
+	// TraceEvent is one recorded flight-recorder event.
+	TraceEvent = trace.Event
+	// TraceTree is one reconstructed congestion-tree lifecycle
+	// (as returned by TraceRecorder.Trees).
+	TraceTree = trace.Tree
+	// TraceMetrics is the flight recorder's time-series registry
+	// (TraceRecorder.Metrics; non-nil when TraceConfig.MetricsBin > 0).
+	TraceMetrics = trace.Metrics
+	// TraceSeries is one sampled metric series; it implements Series.
+	TraceSeries = trace.TimeSeries
+	// Series is any fixed-bin time series (Throughput's rate view,
+	// TraceSeries, ...).
+	Series = stats.Series
+	// SeriesSummary condenses a Series (see SummarizeSeries).
+	SeriesSummary = stats.SeriesSummary
 )
+
+// SummarizeSeries scans a Series once and returns bins/mean/max/peak.
+func SummarizeSeries(s Series) SeriesSummary { return stats.Summarize(s) }
 
 // FaultConfig bundles a fault plan with the recovery layer that
 // counters it; pass it to NewNetworkFaults or set the corresponding
@@ -115,6 +142,23 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(sp
 
 // DefaultFaultRecovery returns the recovery layer with default timers.
 func DefaultFaultRecovery() FaultRecovery { return fault.DefaultRecovery() }
+
+// AllTraceEvents enables every flight-recorder event kind.
+const AllTraceEvents = trace.AllEvents
+
+// NewTraceRecorder builds a flight recorder from a config. Pass it via
+// Config.Tracer (or Run.Trace / Options.Trace as a TraceConfig) before
+// building the network; recorders are single-use.
+func NewTraceRecorder(cfg TraceConfig) *TraceRecorder { return trace.New(cfg) }
+
+// ParseTraceEvents parses a comma-separated event spec ("saq,token",
+// "packet", "tree", "all", …) into a TraceMask, as accepted by
+// `recnsim -trace-events`.
+func ParseTraceEvents(spec string) (TraceMask, error) { return trace.ParseEvents(spec) }
+
+// ParseTime parses a duration with a unit suffix ("250ns", "1.5us",
+// "2ms", "800ps") into a Time.
+func ParseTime(s string) (Time, error) { return sim.ParseTime(s) }
 
 // NewNetworkFaults builds a simulation of the paper's network with the
 // given mechanism, fault plan and recovery layer. Read the outcome from
@@ -290,8 +334,8 @@ var figureRunners = map[string]figureRunner{
 		}
 		return []*Table{t}, nil
 	},
-	"2a":     fig2Runner(1, 0),
-	"2b":     fig2Runner(2, 0),
+	"2a": fig2Runner(1, 0),
+	"2b": fig2Runner(2, 0),
 	"2c": func(o Options) ([]*Table, error) {
 		fig, err := experiments.Fig2(1, o)
 		if err != nil {
