@@ -277,6 +277,50 @@ func BenchmarkLatencyExtension(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures the parallel sweep engine on the Figure 2
+// corner-case runs (both corners × five mechanisms = 10 independent
+// simulations): serial baseline vs. an 8-worker pool. The rendered
+// results are identical at any -j (see TestSweepParallelGolden); only
+// wall-clock changes.
+func BenchmarkSweep(b *testing.B) {
+	var runs []experiments.Run
+	for _, corner := range []int{1, 2} {
+		workload, until, err := experiments.CornerWorkload(corner, 64, 64, *benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range []fabric.Policy{
+			fabric.PolicyVOQnet, fabric.Policy1Q, fabric.PolicyVOQsw, fabric.Policy4Q, fabric.PolicyRECN,
+		} {
+			runs = append(runs, experiments.Run{
+				Hosts:    64,
+				Policy:   p,
+				Key:      fmt.Sprintf("corner%d", corner),
+				Workload: workload,
+				Until:    until,
+				Bin:      until / 160,
+			})
+		}
+	}
+	for _, j := range []int{1, 8} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.Sweep(runs, experiments.Options{Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var events uint64
+					for _, r := range results {
+						events += r.Events
+					}
+					b.ReportMetric(float64(events)/(b.Elapsed().Seconds()+1e-9), "events/s")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorCore measures raw simulator throughput (events/s)
 // on a saturated 64-host network, independent of any figure.
 func BenchmarkSimulatorCore(b *testing.B) {

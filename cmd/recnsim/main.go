@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	recnsim -fig 2a [-scale 0.5] [-pkt 64] [-rows 40]
+//	recnsim -fig 2a [-scale 0.5] [-pkt 64] [-rows 40] [-j 8]
 //	recnsim -fig 2a -trace out.json [-trace-events tree] [-trace-bin 500ns]
 //	recnsim -list
 //	recnsim -all [-scale 0.25]
@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ func main() {
 		all      = flag.Bool("all", false, "reproduce everything")
 		list     = flag.Bool("list", false, "list figure IDs")
 		scale    = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers for multi-policy figures (≥ 1; output is identical at any setting)")
 		pkt      = flag.Int("pkt", 0, "packet size in bytes (default per figure)")
 		rows     = flag.Int("rows", 40, "max table rows")
 		quiet    = flag.Bool("q", false, "suppress timing output")
@@ -51,11 +53,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *j < 1 {
+		fatal(fmt.Errorf("-j %d: want at least 1 worker", *j))
+	}
 	opts := repro.Options{
-		Scale:      *scale,
-		PacketSize: *pkt,
-		MaxRows:    *rows,
-		FaultSpec:  *faults,
+		Scale:       *scale,
+		PacketSize:  *pkt,
+		MaxRows:     *rows,
+		FaultSpec:   *faults,
+		Parallelism: *j,
 	}
 	// Validate mechanism names up front, before any (possibly long)
 	// simulation starts.

@@ -1,19 +1,28 @@
-// Command recnsweep runs parameter sweeps over the RECN design knobs:
+// Command recnsweep runs parameter sweeps over the RECN design knobs —
 // SAQ count per port, congestion-detection threshold, token priority
-// boost and in-order markers (the ablations A1–A4 in DESIGN.md).
+// boost and in-order markers (the ablations A1–A4 in DESIGN.md) — and
+// full-evaluation sweeps over every figure and table. Independent runs
+// fan across -j workers and results are reassembled in spec order, so
+// output is byte-identical at any parallelism.
 //
 // Usage:
 //
-//	recnsweep -sweep saqs [-counts 1,2,4,8,16] [-scale 0.25]
+//	recnsweep -sweep saqs [-counts 1,2,4,8,16] [-scale 0.25] [-j 8]
 //	recnsweep -sweep threshold [-kb 4,8,16,32,64]
 //	recnsweep -sweep boost
 //	recnsweep -sweep markers
+//	recnsweep -sweep all -j $(nproc) [-cache ~/.cache/recn]
+//
+// With -cache DIR, run results are cached by a stable hash of each
+// run's spec: re-rendering after changing one knob re-simulates only
+// the runs whose spec changed. -no-cache bypasses the cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -22,13 +31,21 @@ import (
 
 func main() {
 	var (
-		sweep  = flag.String("sweep", "saqs", "sweep to run: saqs, threshold, boost, markers")
-		counts = flag.String("counts", "", "comma-separated SAQ counts (saqs sweep)")
-		kb     = flag.String("kb", "", "comma-separated detection thresholds in KB (threshold sweep)")
-		scale  = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
+		sweep   = flag.String("sweep", "saqs", "sweep to run: saqs, threshold, boost, markers, all")
+		counts  = flag.String("counts", "", "comma-separated SAQ counts (saqs sweep)")
+		kb      = flag.String("kb", "", "comma-separated detection thresholds in KB (threshold sweep)")
+		scale   = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
+		j       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (≥ 1)")
+		cache   = flag.String("cache", "", "run-result cache directory (created if missing)")
+		noCache = flag.Bool("no-cache", false, "bypass the run-result cache")
 	)
 	flag.Parse()
-	o := repro.Options{Scale: *scale}
+	// All flag validation happens before any simulation starts.
+	if err := validateFlags(*j, *cache); err != nil {
+		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
+		os.Exit(2)
+	}
+	o := repro.Options{Scale: *scale, Parallelism: *j, CacheDir: *cache, NoCache: *noCache}
 
 	var id string
 	switch *sweep {
@@ -40,6 +57,16 @@ func main() {
 		id = "a3"
 	case "markers":
 		id = "a4"
+	case "all", "figures":
+		for _, fid := range repro.FigureIDs() {
+			tables, err := repro.Reproduce(fid, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "recnsweep: %s: %v\n", fid, err)
+				os.Exit(1)
+			}
+			printTables(tables)
+		}
+		return
 	default:
 		fmt.Fprintf(os.Stderr, "recnsweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
@@ -61,6 +88,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
 		os.Exit(1)
 	}
+	printTables(tables)
+}
+
+// validateFlags rejects a bad worker count or an unusable cache
+// directory up front, naming the offending flag; nothing simulates
+// until both pass.
+func validateFlags(j int, cacheDir string) error {
+	if j < 1 {
+		return fmt.Errorf("-j %d: want at least 1 worker", j)
+	}
+	if cacheDir != "" {
+		if _, err := repro.OpenRunCache(cacheDir); err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+	}
+	return nil
+}
+
+func printTables(tables []*repro.Table) {
 	for _, t := range tables {
 		t.Fprint(os.Stdout)
 	}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Flag validation must fail before any simulation starts, naming the
+// offending flag (the style of recnsim's -policies check).
+func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
+	for _, j := range []int{0, -1, -8} {
+		err := validateFlags(j, "")
+		if err == nil {
+			t.Errorf("validateFlags(j=%d) accepted", j)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-j") {
+			t.Errorf("validateFlags(j=%d) error %q does not name -j", j, err)
+		}
+	}
+}
+
+func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
+	// A path under a regular file can never become a directory, so this
+	// fails even when the tests run as root (unlike permission bits).
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := validateFlags(1, filepath.Join(file, "sub"))
+	if err == nil {
+		t.Fatal("validateFlags accepted a cache dir under a regular file")
+	}
+	if !strings.Contains(err.Error(), "-cache") {
+		t.Errorf("error %q does not name -cache", err)
+	}
+}
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	if err := validateFlags(1, ""); err != nil {
+		t.Errorf("validateFlags(1, \"\") = %v", err)
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := validateFlags(8, dir); err != nil {
+		t.Errorf("validateFlags(8, %q) = %v", dir, err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Errorf("cache dir not created: %v, %v", fi, err)
+	}
+}

@@ -26,6 +26,17 @@ type Options struct {
 	// enabled; the per-run fault/recovery accounting is appended to the
 	// figure's table notes.
 	FaultSpec string
+	// Parallelism is the sweep worker-pool size: every figure, table
+	// and ablation fans its independent runs across this many workers
+	// (0 = GOMAXPROCS, 1 = serial). Results are reassembled in spec
+	// order, so output is byte-identical at any setting.
+	Parallelism int
+	// CacheDir, if non-empty, enables the on-disk run-result cache:
+	// runs whose spec hash matches a stored entry load instead of
+	// re-simulating (see RunCache).
+	CacheDir string
+	// NoCache disables the cache even when CacheDir is set.
+	NoCache bool
 	// Trace, if non-nil, attaches a flight recorder to every run of
 	// the figure (a fresh recorder per run — they are single-use).
 	Trace *trace.Config
@@ -224,20 +235,24 @@ var defaultPolicies = []fabric.Policy{
 	fabric.PolicyVOQnet, fabric.Policy1Q, fabric.PolicyVOQsw, fabric.Policy4Q, fabric.PolicyRECN,
 }
 
-// runPolicies executes one workload under several mechanisms.
-func runPolicies(hosts int, policies []fabric.Policy, o Options,
+// runPolicies executes one workload under several mechanisms via the
+// sweep engine. key names the workload+mutate pair for the run cache
+// (see Run.Key); the per-policy runs fan across Options.Parallelism
+// workers and come back in the policies' order.
+func runPolicies(hosts int, policies []fabric.Policy, o Options, key string,
 	workload func(traffic.Network) error, until sim.Time,
 	mutate func(*fabric.Config)) ([]*Result, sim.Time, error) {
 	bin := until / 160
 	if bin <= 0 {
 		bin = sim.Microsecond
 	}
-	results := make([]*Result, len(policies))
+	runs := make([]Run, len(policies))
 	for i, p := range policies {
-		r := Run{
+		runs[i] = Run{
 			Hosts:      hosts,
 			Policy:     p,
 			PacketSize: o.PacketSize,
+			Key:        key,
 			Workload:   workload,
 			Until:      until,
 			Bin:        bin,
@@ -245,13 +260,16 @@ func runPolicies(hosts int, policies []fabric.Policy, o Options,
 			FaultSpec:  o.FaultSpec,
 			Trace:      o.Trace,
 		}
-		res, err := r.Execute()
-		if err != nil {
-			return nil, 0, fmt.Errorf("experiments: %v run: %w", p, err)
-		}
-		results[i] = res
-		if res.Trace != nil && o.OnTrace != nil {
-			o.OnTrace(p.String(), res.Trace)
+	}
+	results, err := Sweep(runs, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	if o.OnTrace != nil {
+		for i, p := range policies {
+			if results[i].Trace != nil {
+				o.OnTrace(p.String(), results[i].Trace)
+			}
 		}
 	}
 	return results, bin, nil
@@ -270,7 +288,7 @@ func Fig2(corner int, o Options) (*FigThroughput, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, bin, err := runPolicies(64, policies, o, workload, until, nil)
+	results, bin, err := runPolicies(64, policies, o, cornerKey(corner), workload, until, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +318,7 @@ func Fig3(compression float64, o Options) (*FigThroughput, error) {
 		policies = []fabric.Policy{fabric.PolicyVOQnet, fabric.Policy1Q, fabric.PolicyVOQsw, fabric.PolicyRECN}
 	}
 	workload, until := CelloWorkload(compression, o.Scale)
-	results, bin, err := runPolicies(64, policies, o, workload, until, celloMutate)
+	results, bin, err := runPolicies(64, policies, o, celloKey(compression), workload, until, celloMutate)
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +343,7 @@ func Fig4(corner int, o Options) (*FigSAQ, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o, workload, until, nil)
+	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o, cornerKey(corner), workload, until, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +359,7 @@ func Fig4(corner int, o Options) (*FigSAQ, error) {
 func Fig5(compression float64, o Options) (*FigSAQ, error) {
 	o = o.withDefaults()
 	workload, until := CelloWorkload(compression, o.Scale)
-	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o, workload, until, celloMutate)
+	results, bin, err := runPolicies(64, []fabric.Policy{fabric.PolicyRECN}, o, celloKey(compression), workload, until, celloMutate)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +386,7 @@ func Fig6(hosts int, o Options) (*FigThroughput, *FigSAQ, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	results, bin, err := runPolicies(hosts, policies, o, workload, until, nil)
+	results, bin, err := runPolicies(hosts, policies, o, cornerKey(2), workload, until, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -423,45 +441,74 @@ func ablationTable(title, labelHdr string, rows []AblationResult) *Table {
 	return t
 }
 
-// runAblation executes corner case 2 on 64 hosts under RECN with a
-// config mutation and summarizes it.
-func runAblation(o Options, label string, mutate func(*fabric.Config)) (AblationResult, error) {
+// cornerKey names a corner-case workload for the run cache. Together
+// with the declarative Run fields (Hosts, PacketSize, Until — which
+// pins the scale) it identifies the workload closure exactly.
+func cornerKey(corner int) string { return fmt.Sprintf("corner%d", corner) }
+
+// celloKey names the cello workload (plus the AdmitCap mutation every
+// cello run applies). Compression changes injection times without
+// changing the horizon, so it must be part of the key.
+func celloKey(compression float64) string {
+	return fmt.Sprintf("cello|cf=%g|admitcap=0", compression)
+}
+
+// ablationCase is one point of an ablation sweep: a label, a stable
+// cache-key fragment for the mutation, and the mutation itself.
+type ablationCase struct {
+	label  string
+	keyFor string
+	mutate func(*fabric.Config)
+}
+
+// runAblations executes corner case 2 on 64 hosts under RECN once per
+// case — fanned across the sweep workers — and summarizes each run.
+func runAblations(o Options, cases []ablationCase) ([]AblationResult, error) {
 	workload, until, err := CornerWorkload(2, 64, o.PacketSize, o.Scale)
 	if err != nil {
-		return AblationResult{}, err
+		return nil, err
 	}
 	bin := until / 160
-	res, err := Run{
-		Hosts:      64,
-		Policy:     fabric.PolicyRECN,
-		PacketSize: o.PacketSize,
-		Workload:   workload,
-		Until:      until,
-		Bin:        bin,
-		Mutate:     mutate,
-		FaultSpec:  o.FaultSpec,
-	}.Execute()
+	runs := make([]Run, len(cases))
+	for i, c := range cases {
+		runs[i] = Run{
+			Hosts:      64,
+			Policy:     fabric.PolicyRECN,
+			PacketSize: o.PacketSize,
+			Key:        cornerKey(2) + "|" + c.keyFor,
+			Workload:   workload,
+			Until:      until,
+			Bin:        bin,
+			Mutate:     c.mutate,
+			FaultSpec:  o.FaultSpec,
+		}
+	}
+	results, err := Sweep(runs, o)
 	if err != nil {
-		return AblationResult{}, err
+		return nil, err
 	}
-	window := func(fromUs, toUs float64) float64 {
-		from := int(o.t(fromUs) / bin)
-		to := int(o.t(toUs) / bin)
-		return res.Throughput.MeanRate(from, to)
+	rows := make([]AblationResult, len(cases))
+	for i, res := range results {
+		window := func(fromUs, toUs float64) float64 {
+			from := int(o.t(fromUs) / bin)
+			to := int(o.t(toUs) / bin)
+			return res.Throughput.MeanRate(from, to)
+		}
+		peak := res.SAQ.Peak()
+		port := peak.MaxIngress
+		if peak.MaxEgress > port {
+			port = peak.MaxEgress
+		}
+		rows[i] = AblationResult{
+			Label:           cases[i].label,
+			MeanCongested:   window(850, 970),
+			MeanAfter:       window(1100, 1500),
+			PeakSAQTotal:    peak.Total,
+			PeakSAQPort:     port,
+			OrderViolations: res.OrderViolations,
+		}
 	}
-	peak := res.SAQ.Peak()
-	port := peak.MaxIngress
-	if peak.MaxEgress > port {
-		port = peak.MaxEgress
-	}
-	return AblationResult{
-		Label:           label,
-		MeanCongested:   window(850, 970),
-		MeanAfter:       window(1100, 1500),
-		PeakSAQTotal:    peak.Total,
-		PeakSAQPort:     port,
-		OrderViolations: res.OrderViolations,
-	}, nil
+	return rows, nil
 }
 
 // AblationSAQCount sweeps the number of SAQs/CAM lines per port (A1).
@@ -470,16 +517,18 @@ func AblationSAQCount(o Options, counts []int) (*Table, error) {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8, 16}
 	}
-	var rows []AblationResult
-	for _, c := range counts {
+	cases := make([]ablationCase, len(counts))
+	for i, c := range counts {
 		c := c
-		r, err := runAblation(o, fmt.Sprint(c), func(cfg *fabric.Config) {
-			cfg.RECN.MaxSAQs = c
-		})
-		if err != nil {
-			return nil, err
+		cases[i] = ablationCase{
+			label:  fmt.Sprint(c),
+			keyFor: fmt.Sprintf("saqs=%d", c),
+			mutate: func(cfg *fabric.Config) { cfg.RECN.MaxSAQs = c },
 		}
-		rows = append(rows, r)
+	}
+	rows, err := runAblations(o, cases)
+	if err != nil {
+		return nil, err
 	}
 	return ablationTable("Ablation A1: SAQs per port (corner case 2)", "saqs", rows), nil
 }
@@ -490,16 +539,18 @@ func AblationThreshold(o Options, detectBytes []int) (*Table, error) {
 	if len(detectBytes) == 0 {
 		detectBytes = []int{4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024}
 	}
-	var rows []AblationResult
-	for _, d := range detectBytes {
+	cases := make([]ablationCase, len(detectBytes))
+	for i, d := range detectBytes {
 		d := d
-		r, err := runAblation(o, fmt.Sprintf("%dKB", d/1024), func(cfg *fabric.Config) {
-			cfg.RECN.DetectBytes = d
-		})
-		if err != nil {
-			return nil, err
+		cases[i] = ablationCase{
+			label:  fmt.Sprintf("%dKB", d/1024),
+			keyFor: fmt.Sprintf("detect=%d", d),
+			mutate: func(cfg *fabric.Config) { cfg.RECN.DetectBytes = d },
 		}
-		rows = append(rows, r)
+	}
+	rows, err := runAblations(o, cases)
+	if err != nil {
+		return nil, err
 	}
 	return ablationTable("Ablation A2: detection threshold (corner case 2)", "detect", rows), nil
 }
@@ -508,22 +559,26 @@ func AblationThreshold(o Options, detectBytes []int) (*Table, error) {
 // for near-empty token-owning SAQs against no boost (A3).
 func AblationTokenBoost(o Options) (*Table, error) {
 	o = o.withDefaults()
-	var rows []AblationResult
+	var cases []ablationCase
 	for _, boost := range []bool{true, false} {
 		boost := boost
 		label := "on"
 		if !boost {
 			label = "off"
 		}
-		r, err := runAblation(o, label, func(cfg *fabric.Config) {
-			if !boost {
-				cfg.RECN.BoostPackets = 0
-			}
+		cases = append(cases, ablationCase{
+			label:  label,
+			keyFor: fmt.Sprintf("boost=%t", boost),
+			mutate: func(cfg *fabric.Config) {
+				if !boost {
+					cfg.RECN.BoostPackets = 0
+				}
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+	}
+	rows, err := runAblations(o, cases)
+	if err != nil {
+		return nil, err
 	}
 	return ablationTable("Ablation A3: token priority boost (corner case 2)", "boost", rows), nil
 }
@@ -532,20 +587,22 @@ func AblationTokenBoost(o Options) (*Table, error) {
 // them (A4): without markers RECN reorders packets.
 func AblationMarkers(o Options) (*Table, error) {
 	o = o.withDefaults()
-	var rows []AblationResult
+	var cases []ablationCase
 	for _, markers := range []bool{true, false} {
 		markers := markers
 		label := "on"
 		if !markers {
 			label = "off"
 		}
-		r, err := runAblation(o, label, func(cfg *fabric.Config) {
-			cfg.RECN.NoInOrderMarkers = !markers
+		cases = append(cases, ablationCase{
+			label:  label,
+			keyFor: fmt.Sprintf("markers=%t", markers),
+			mutate: func(cfg *fabric.Config) { cfg.RECN.NoInOrderMarkers = !markers },
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+	}
+	rows, err := runAblations(o, cases)
+	if err != nil {
+		return nil, err
 	}
 	return ablationTable("Ablation A4: in-order markers (corner case 2)", "markers", rows), nil
 }

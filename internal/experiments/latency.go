@@ -39,12 +39,18 @@ func LatencyFig(corner int, o Options) (*Table, error) {
 		{"during", o.t(800), o.t(980)},
 		{"after", o.t(1100), o.t(1600)},
 	}
-	for _, p := range policies {
+	// One run per policy, fanned across the sweep workers. Each run's
+	// Observe writes only its own window summaries, so the runs stay
+	// independent; the rows render in policy order afterwards.
+	runs := make([]Run, len(policies))
+	perPolicy := make([][]*stats.Latency, len(policies))
+	for pi, p := range policies {
 		lats := make([]*stats.Latency, len(windows))
 		for i := range lats {
 			lats[i] = stats.NewLatency()
 		}
-		run := Run{
+		perPolicy[pi] = lats
+		runs[pi] = Run{
 			Hosts:      64,
 			Policy:     p,
 			PacketSize: o.PacketSize,
@@ -59,11 +65,13 @@ func LatencyFig(corner int, o Options) (*Table, error) {
 				}
 			},
 		}
-		if _, err := run.Execute(); err != nil {
-			return nil, err
-		}
+	}
+	if _, err := Sweep(runs, o); err != nil {
+		return nil, err
+	}
+	for pi, p := range policies {
 		for i, w := range windows {
-			l := lats[i]
+			l := perPolicy[pi][i]
 			t.AddRow(p.String(), w.name, l.Mean().String(), l.Quantile(0.5).String(),
 				l.Quantile(0.99).String(), l.Max().String())
 		}

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/fabric"
 	"repro/internal/fault"
@@ -43,6 +44,13 @@ type Run struct {
 	Hosts      int
 	Policy     fabric.Policy
 	PacketSize int
+	// Key names the non-declarative parts of the spec (the Workload and
+	// Mutate closures) for the sweep engine: it feeds SpecKey/SpecHash,
+	// which identify the run in the result cache and derive the run's
+	// RNG seeds. Two runs may share a Key only if their closures are
+	// interchangeable. A run whose closures are set but whose Key is
+	// empty is never cached.
+	Key string
 	// Workload installs the traffic generators.
 	Workload func(traffic.Network) error
 	// Until is the measurement horizon; events beyond it still drain
@@ -121,7 +129,12 @@ func (r Run) Execute() (*Result, error) {
 	}
 	faults := r.Faults
 	if faults == nil && r.FaultSpec != "" {
-		faults, err = fault.ParsePlan(r.FaultSpec)
+		// "seed=auto" resolves to the spec-derived seed: stable across
+		// submission order and parallelism, distinct across runs with
+		// different specs (each policy of a fault sweep gets its own
+		// deterministic fault stream).
+		spec := strings.ReplaceAll(r.FaultSpec, "seed=auto", fmt.Sprintf("seed=%d", r.DerivedSeed()))
+		faults, err = fault.ParsePlan(spec)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/stats"
+)
+
+// This file is the sweep engine: every figure, table and ablation is a
+// list of independent Runs, and Sweep fans them across a worker pool.
+// Each worker builds its own sim.Engine, fabric and RNG streams (all
+// seeds are functions of the run spec, never of submission order), so
+// the results — reassembled in spec order — are byte-identical to the
+// serial path. An optional on-disk cache keyed by a stable hash of the
+// run spec lets a re-plotted figure re-simulate only the runs whose
+// spec actually changed.
+
+// SpecKey returns the canonical description of the run's spec: every
+// declarative field plus Key, which names the non-declarative parts
+// (Workload and Mutate closures). Two runs with equal spec keys produce
+// identical results, so the key — through its hash — is the identity
+// the result cache and derived seeding use.
+func (r Run) SpecKey() string {
+	return fmt.Sprintf("v1|key=%s|hosts=%d|policy=%s|pkt=%d|until=%d|bin=%d|drain=%t|faults=%s|recovery=%+v",
+		r.Key, r.Hosts, r.Policy, r.PacketSize, int64(r.Until), int64(r.Bin), r.DrainAll, r.FaultSpec, r.Recovery)
+}
+
+// SpecHash returns a stable 64-bit FNV-1a hash of SpecKey. It names
+// the run's cache entry and seeds the run's derived RNG streams; it
+// depends only on the spec, never on submission or completion order.
+func (r Run) SpecHash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.SpecKey()))
+	return h.Sum64()
+}
+
+// DerivedSeed returns the run's spec-derived RNG seed (non-negative).
+// A FaultSpec of "seed=auto,…" uses it, so every run of a sweep gets
+// its own deterministic fault stream without manual seed bookkeeping.
+func (r Run) DerivedSeed() int64 {
+	return int64(r.SpecHash() & (1<<63 - 1))
+}
+
+// cacheable reports whether the run's result may be stored in and
+// loaded from the result cache. Runs carrying live objects that cannot
+// be replayed from the spec — an Observe callback, a flight recorder,
+// a pre-built (single-use) fault plan — or closures not named by Key
+// must always simulate.
+func (r Run) cacheable() bool {
+	if r.Observe != nil || r.Trace != nil || r.Faults != nil {
+		return false
+	}
+	if (r.Workload != nil || r.Mutate != nil) && r.Key == "" {
+		return false
+	}
+	return true
+}
+
+// cacheVersion invalidates every cache entry written by previous
+// simulator revisions; bump it whenever a model change alters results
+// without altering specs.
+const cacheVersion = 1
+
+// RunCache is an on-disk cache of run results keyed by SpecHash. One
+// entry is one JSON file holding the spec key (verified on load, so a
+// hash collision can never serve the wrong result), a checksum of the
+// payload, and the run's stats.Report.
+type RunCache struct {
+	dir string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+}
+
+// OpenRunCache opens (creating if necessary) a cache directory and
+// verifies it is writable, so a bad -cache flag fails before any
+// simulation starts.
+func OpenRunCache(dir string) (*RunCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("experiments: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: cache dir: %w", err)
+	}
+	probe := filepath.Join(dir, ".probe")
+	if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+		return nil, fmt.Errorf("experiments: cache dir %s not writable: %w", dir, err)
+	}
+	os.Remove(probe)
+	return &RunCache{dir: dir}, nil
+}
+
+// Stats returns how many Load calls hit and missed since open.
+func (c *RunCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *RunCache) path(r Run) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.json", r.SpecHash()))
+}
+
+type cacheEntry struct {
+	Version int
+	SpecKey string
+	Sum     uint64
+	Report  json.RawMessage
+}
+
+func checksum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Load returns the cached result for a run's spec. Any defect — an
+// uncacheable run, a missing, truncated or corrupt entry, a version or
+// spec-key mismatch — is a miss: the caller re-simulates, never trusts
+// a damaged entry.
+func (c *RunCache) Load(r Run) (*Result, bool) {
+	res, ok := c.load(r)
+	c.mu.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return res, ok
+}
+
+func (c *RunCache) load(r Run) (*Result, bool) {
+	if !r.cacheable() {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(r))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		return nil, false
+	}
+	if entry.Version != cacheVersion || entry.SpecKey != r.SpecKey() || entry.Sum != checksum(entry.Report) {
+		return nil, false
+	}
+	var rep stats.Report
+	if err := json.Unmarshal(entry.Report, &rep); err != nil {
+		return nil, false
+	}
+	res, err := ResultFromReport(r.Policy, rep)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// Store writes a run's result. Uncacheable runs are skipped silently;
+// the write is atomic (temp file + rename) so a crashed writer leaves
+// no truncated entry under the final name.
+func (c *RunCache) Store(r Run, res *Result) error {
+	if !r.cacheable() || res == nil {
+		return nil
+	}
+	rep, err := json.Marshal(res.Report())
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(cacheEntry{
+		Version: cacheVersion,
+		SpecKey: r.SpecKey(),
+		Sum:     checksum(rep),
+		Report:  rep,
+	})
+	if err != nil {
+		return err
+	}
+	path := c.path(r)
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Report converts the result's measurements to the serializable,
+// mergeable form (the trace recorder, being a live object, is not
+// part of it).
+func (res *Result) Report() stats.Report {
+	rep := stats.Report{
+		Throughput:      res.Throughput.Dump(),
+		SAQ:             res.SAQ.Dump(),
+		Latency:         res.Latency.Dump(),
+		Injected:        res.Injected,
+		Delivered:       res.Delivered,
+		OrderViolations: res.OrderViolations,
+		Events:          res.Events,
+	}
+	if res.Faults != nil {
+		f := *res.Faults
+		rep.Faults = &f
+	}
+	return rep
+}
+
+// ResultFromReport rebuilds a live Result from a serialized report.
+func ResultFromReport(policy fabric.Policy, rep stats.Report) (*Result, error) {
+	tp, err := rep.Throughput.Restore()
+	if err != nil {
+		return nil, err
+	}
+	saq, err := rep.SAQ.Restore()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Policy:          policy,
+		Throughput:      tp,
+		SAQ:             saq,
+		Latency:         rep.Latency.Restore(),
+		Injected:        rep.Injected,
+		Delivered:       rep.Delivered,
+		OrderViolations: rep.OrderViolations,
+		Events:          rep.Events,
+	}
+	if rep.Faults != nil {
+		f := *rep.Faults
+		res.Faults = &f
+	}
+	return res, nil
+}
+
+// Sweep executes independent runs across a worker pool and returns
+// their results in spec (submission) order, so rendering the results
+// is byte-identical regardless of Parallelism. Options.Parallelism
+// sets the worker count (0 = GOMAXPROCS, 1 = serial); with
+// Options.CacheDir set (and NoCache unset), results load from and
+// store to the run cache. On failure the error of the lowest-indexed
+// failing run is returned, which keeps error output deterministic too.
+func Sweep(runs []Run, o Options) ([]*Result, error) {
+	n := o.Parallelism
+	if n < 0 {
+		return nil, fmt.Errorf("experiments: parallelism %d (want ≥ 1, or 0 for GOMAXPROCS)", n)
+	}
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(runs) {
+		n = len(runs)
+	}
+	var cache *RunCache
+	if o.CacheDir != "" && !o.NoCache {
+		var err error
+		cache, err = OpenRunCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]*Result, len(runs))
+	if n <= 1 {
+		for i, r := range runs {
+			res, err := executeCached(r, cache)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %v run: %w", r.Policy, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, len(runs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = executeCached(runs[i], cache)
+			}
+		}()
+	}
+	for i := range runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v run: %w", runs[i].Policy, err)
+		}
+	}
+	return results, nil
+}
+
+// executeCached runs one simulation, consulting the cache first. A
+// failed cache write is not a run failure: the result is fresh and
+// correct, the next sweep just re-simulates.
+func executeCached(r Run, cache *RunCache) (*Result, error) {
+	if cache != nil {
+		if res, ok := cache.Load(r); ok {
+			return res, nil
+		}
+	}
+	res, err := r.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		_ = cache.Store(r, res)
+	}
+	return res, nil
+}

@@ -92,6 +92,18 @@ func (t *Table) FprintCSV(w io.Writer) error {
 	return nil
 }
 
+// RenderTables renders a list of tables separated by blank lines — the
+// format the CLIs print and the serial-vs-parallel golden tests
+// compare byte-for-byte.
+func RenderTables(tables []*Table) string {
+	var sb strings.Builder
+	for _, t := range tables {
+		t.Fprint(&sb)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // stride picks a row step so a series prints in at most maxRows rows.
 func stride(n, maxRows int) int {
 	if maxRows <= 0 || n <= maxRows {

@@ -66,6 +66,12 @@ type (
 	Result = experiments.Result
 	// Run describes one simulation of one mechanism.
 	Run = experiments.Run
+	// RunCache is the on-disk run-result cache used by Sweep, keyed by
+	// Run.SpecHash (enable it with Options.CacheDir).
+	RunCache = experiments.RunCache
+	// RunReport is the serializable, mergeable form of a Result
+	// (Result.Report / ResultFromReport convert between the two).
+	RunReport = stats.Report
 	// CornerCase is a Table 1 workload.
 	CornerCase = traffic.CornerCase
 	// Trace is a replayable message trace.
@@ -111,6 +117,22 @@ type (
 
 // SummarizeSeries scans a Series once and returns bins/mean/max/peak.
 func SummarizeSeries(s Series) SeriesSummary { return stats.Summarize(s) }
+
+// Sweep executes independent runs across a worker pool
+// (Options.Parallelism workers; 0 = GOMAXPROCS) and returns their
+// results in submission order, byte-identical to running them
+// serially. With Options.CacheDir set, results are served from and
+// stored to the on-disk run cache.
+func Sweep(runs []Run, o Options) ([]*Result, error) { return experiments.Sweep(runs, o) }
+
+// OpenRunCache opens (creating if necessary) a run-result cache
+// directory and verifies it is writable.
+func OpenRunCache(dir string) (*RunCache, error) { return experiments.OpenRunCache(dir) }
+
+// ResultFromReport rebuilds a live Result from its serialized report.
+func ResultFromReport(policy Policy, rep RunReport) (*Result, error) {
+	return experiments.ResultFromReport(policy, rep)
+}
 
 // FaultConfig bundles a fault plan with the recovery layer that
 // counters it; pass it to NewNetworkFaults or set the corresponding
