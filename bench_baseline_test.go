@@ -1,0 +1,115 @@
+package repro
+
+// Benchmark-baseline emitter: writes the headline performance numbers
+// of the simulator hot path — the engine microbenchmark and the
+// Figure 2 reproduction — as JSON, so perf PRs can be gated against a
+// recorded baseline (BENCH_PR5.json holds the numbers captured just
+// before the zero-allocation scheduler rewrite).
+//
+// Usage:
+//
+//	BENCH_JSON=BENCH_PR5.json go test -run TestEmitBenchBaseline .
+//
+// CI runs it with -benchtime=1x as a smoke test and uploads the JSON
+// as an artifact; without BENCH_JSON the test skips.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// benchMetrics is one benchmark's headline numbers.
+type benchMetrics struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+// benchBaseline is the serialized baseline file.
+type benchBaseline struct {
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Scale      float64      `json:"fig2_scale"`
+	Engine     benchMetrics `json:"engine_schedule_run"`
+	Fig2       benchMetrics `json:"fig2_corner1"`
+}
+
+func engineBenchNoop() {}
+
+// benchmarkEngineHotPath is the engine microbench: a rolling window of
+// scheduled events dispatched in batches, the same shape the fabric
+// call sites produce. One op = one Schedule plus its dispatch.
+func benchmarkEngineHotPath(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+sim.Time(i%97), engineBenchNoop)
+		if i%64 == 63 {
+			e.Run(e.Now() + 100)
+		}
+	}
+	e.Drain()
+	b.ReportMetric(float64(e.Executed)/(b.Elapsed().Seconds()+1e-9), "events/s")
+}
+
+const benchBaselineScale = 0.25
+
+// benchmarkFig2Baseline runs the Figure 2 corner-case-1 reproduction
+// (all five mechanisms) once per iteration, the same workload
+// BenchmarkFig2aCornerCase1 measures.
+func benchmarkFig2Baseline(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig2(1, Options{Scale: benchBaselineScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for _, r := range fig.Results {
+			events += r.Events
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/(b.Elapsed().Seconds()+1e-9), "events/s")
+}
+
+func metricsOf(r testing.BenchmarkResult) benchMetrics {
+	return benchMetrics{
+		NsPerOp:      float64(r.NsPerOp()),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		EventsPerSec: r.Extra["events/s"],
+		Iterations:   r.N,
+	}
+}
+
+// TestEmitBenchBaseline writes the baseline JSON to $BENCH_JSON.
+func TestEmitBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the benchmark baseline")
+	}
+	out := benchBaseline{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      benchBaselineScale,
+		Engine:     metricsOf(testing.Benchmark(benchmarkEngineHotPath)),
+		Fig2:       metricsOf(testing.Benchmark(benchmarkFig2Baseline)),
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: engine %.1f ns/op %d allocs/op; fig2 %.0f events/s",
+		path, out.Engine.NsPerOp, out.Engine.AllocsPerOp, out.Fig2.EventsPerSec)
+}

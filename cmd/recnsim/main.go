@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -50,8 +51,21 @@ func main() {
 		traceEvents = flag.String("trace-events", "", "comma-separated event kinds to record, e.g. 'saq,token', 'tree', 'packet', 'all' (default all)")
 		traceBuf    = flag.Int("trace-buf", 0, "flight-recorder ring capacity in events (default 65536)")
 		traceBin    = flag.String("trace-bin", "", "metrics sampling period for counter tracks, e.g. '500ns' (default off)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *j < 1 {
 		fatal(fmt.Errorf("-j %d: want at least 1 worker", *j))

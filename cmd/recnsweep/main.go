@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (≥ 1)")
 		cache   = flag.String("cache", "", "run-result cache directory (created if missing)")
 		noCache = flag.Bool("no-cache", false, "bypass the run-result cache")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	)
 	flag.Parse()
 	// All flag validation happens before any simulation starts.
@@ -45,6 +49,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 	o := repro.Options{Scale: *scale, Parallelism: *j, CacheDir: *cache, NoCache: *noCache}
 
 	var id string
@@ -75,7 +90,6 @@ func main() {
 	// Custom sweep values go through the experiment package's
 	// list-taking entry points.
 	var tables []*repro.Table
-	var err error
 	switch {
 	case id == "a1" && *counts != "":
 		tables, err = repro.SweepSAQs(o, parseInts(*counts, 1))

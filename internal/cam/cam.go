@@ -15,10 +15,16 @@ import (
 
 // Table is a fixed-capacity CAM. Line IDs are stable for the lifetime
 // of an allocation and double as SAQ identifiers.
+//
+// The table is deliberately map-free: with at most a handful of lines
+// (the paper fixes 8 SAQs per port) a linear scan over packed path
+// words beats a string-keyed map and — like the hardware it models —
+// performs no allocation per lookup. Line assignment is a linear scan
+// for the lowest free index, so allocation order is a pure function of
+// the call sequence, never of map iteration order.
 type Table struct {
 	paths []pkt.Path
 	valid []bool
-	byKey map[string]int
 	used  int
 }
 
@@ -30,7 +36,6 @@ func New(capacity int) *Table {
 	return &Table{
 		paths: make([]pkt.Path, capacity),
 		valid: make([]bool, capacity),
-		byKey: make(map[string]int, capacity),
 	}
 }
 
@@ -43,13 +48,13 @@ func (t *Table) Used() int { return t.used }
 // Full reports whether no line is free.
 func (t *Table) Full() bool { return t.used == len(t.paths) }
 
-// Allocate claims a free line for path p. It returns (-1, false) when
-// the CAM is full — the caller then refuses the congestion notification
-// and returns the token (paper §3.8). Allocating a path that is already
-// present panics: callers must Lookup first (duplicate notifications
-// are filtered by the sender-side flags).
+// Allocate claims the lowest-numbered free line for path p. It returns
+// (-1, false) when the CAM is full — the caller then refuses the
+// congestion notification and returns the token (paper §3.8).
+// Allocating a path that is already present panics: callers must Lookup
+// first (duplicate notifications are filtered by the sender-side flags).
 func (t *Table) Allocate(p pkt.Path) (int, bool) {
-	if _, ok := t.byKey[p.Key()]; ok {
+	if _, ok := t.Lookup(p); ok {
 		panic(fmt.Sprintf("cam: duplicate allocation of path %v", p))
 	}
 	if t.Full() {
@@ -59,7 +64,6 @@ func (t *Table) Allocate(p pkt.Path) (int, bool) {
 		if !t.valid[id] {
 			t.valid[id] = true
 			t.paths[id] = p
-			t.byKey[p.Key()] = id
 			t.used++
 			return id, true
 		}
@@ -69,8 +73,12 @@ func (t *Table) Allocate(p pkt.Path) (int, bool) {
 
 // Lookup finds the line holding exactly path p.
 func (t *Table) Lookup(p pkt.Path) (int, bool) {
-	id, ok := t.byKey[p.Key()]
-	return id, ok
+	for id, ok := range t.valid {
+		if ok && t.paths[id] == p {
+			return id, true
+		}
+	}
+	return -1, false
 }
 
 // Path returns the path stored in a valid line.
@@ -82,7 +90,6 @@ func (t *Table) Path(id int) pkt.Path {
 // Free releases a line.
 func (t *Table) Free(id int) {
 	t.check(id)
-	delete(t.byKey, t.paths[id].Key())
 	t.valid[id] = false
 	t.paths[id] = pkt.Path{}
 	t.used--
@@ -97,15 +104,17 @@ func (t *Table) check(id int) {
 // Match performs the longest-prefix match of a packet's remaining route
 // (route[hop:]) against all valid lines. It returns the matching line
 // ID, or (-1, false) when no line matches (the packet then goes to the
-// queue for uncongested flows).
+// queue for uncongested flows). The route remainder is packed once and
+// compared against every line as whole words.
 func (t *Table) Match(route pkt.Route, hop int) (int, bool) {
+	pr := pkt.PackRoute(route, hop)
 	best, bestLen := -1, -1
 	for id, ok := range t.valid {
 		if !ok {
 			continue
 		}
 		p := t.paths[id]
-		if p.Len() > bestLen && p.MatchesRoute(route, hop) {
+		if p.Len() > bestLen && p.MatchesPacked(pr) {
 			best, bestLen = id, p.Len()
 		}
 	}

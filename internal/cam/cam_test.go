@@ -239,3 +239,77 @@ func BenchmarkMatch8Lines(b *testing.B) {
 		c.Match(route, 0)
 	}
 }
+
+// Property: line-ID assignment is a pure function of the
+// allocate/free history — Allocate always takes the lowest free line,
+// so replaying any random churn sequence (including across differently
+// seeded tables and interleaved matches) assigns identical line IDs.
+// This pins the determinism contract the old map-backed implementation
+// could only honor by never letting map iteration order pick a line.
+func TestQuickAllocateLowestFreeLineDeterministic(t *testing.T) {
+	run := func(ops []byte) []int {
+		c := New(8)
+		var ids []int
+		live := []int{}
+		next := 0
+		for _, op := range ops {
+			switch {
+			case op%3 != 0 || len(live) == 0: // allocate-biased churn
+				p := pkt.PathOf(pkt.Turn(next%7), pkt.Turn(next/7%7), pkt.Turn(next/49%7))
+				next++
+				id, ok := c.Allocate(p)
+				if !ok {
+					ids = append(ids, -1)
+					continue
+				}
+				ids = append(ids, id)
+				live = append(live, id)
+			default: // free an arbitrary live line, chosen by op
+				k := int(op/3) % len(live)
+				c.Free(live[k])
+				live = append(live[:k], live[k+1:]...)
+				ids = append(ids, -2)
+			}
+		}
+		return ids
+	}
+	f := func(ops []byte) bool {
+		a := run(ops)
+		b := run(ops)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Allocate must reuse the lowest free line: freeing a low line and
+// allocating again fills the hole before touching higher lines.
+func TestAllocateReusesLowestFreeLine(t *testing.T) {
+	c := New(4)
+	paths := []pkt.Path{pkt.PathOf(1), pkt.PathOf(2), pkt.PathOf(3), pkt.PathOf(4)}
+	for i, p := range paths {
+		if id, ok := c.Allocate(p); !ok || id != i {
+			t.Fatalf("Allocate(%v) = (%d,%v), want (%d,true)", p, id, ok, i)
+		}
+	}
+	c.Free(2)
+	c.Free(0)
+	if id, ok := c.Allocate(pkt.PathOf(5)); !ok || id != 0 {
+		t.Fatalf("Allocate after freeing 0,2 = (%d,%v), want lowest line 0", id, ok)
+	}
+	if id, ok := c.Allocate(pkt.PathOf(6)); !ok || id != 2 {
+		t.Fatalf("second Allocate = (%d,%v), want next-lowest line 2", id, ok)
+	}
+	if _, ok := c.Allocate(pkt.PathOf(7)); ok {
+		t.Fatal("Allocate succeeded on a full CAM")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+// Determinism regression for the event scheduler: the exact dispatch
+// order of the simulator is part of the reproduction contract (the
+// serial-vs-parallel sweep goldens, the trace (time, seq) stamps and
+// the run cache all assume it is stable). These tests pin the first N
+// (time, scheduling-sequence) dispatch pairs and a checksum of the
+// final run statistics for the Figure 2 and Figure 3 seed workloads
+// against goldens captured from the pre-rewrite container/heap
+// scheduler, so any replacement heap must reproduce its order
+// bit-identically.
+//
+// Regenerate with UPDATE_DISPATCH_GOLDEN=1 go test -run DispatchGolden
+// ./internal/experiments (only legitimate when the model itself — not
+// the scheduler — changes event order).
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// dispatchGolden is the serialized capture of one pinned run.
+type dispatchGolden struct {
+	// Pairs holds the first maxDispatchPairs dispatched events as
+	// (simulation time in ps, scheduling sequence) pairs.
+	Pairs [][2]int64 `json:"pairs"`
+	// Executed / FinalNow / Injected / Delivered / DeliveredBytes
+	// summarize the completed run.
+	Executed       uint64 `json:"executed"`
+	FinalNow       int64  `json:"final_now_ps"`
+	Injected       uint64 `json:"injected_packets"`
+	Delivered      uint64 `json:"delivered_packets"`
+	DeliveredBytes uint64 `json:"delivered_bytes"`
+	// Checksum is an FNV-64a hash over all of the above, including
+	// every captured pair.
+	Checksum string `json:"checksum"`
+}
+
+const maxDispatchPairs = 5000
+
+func (g *dispatchGolden) seal() {
+	h := fnv.New64a()
+	for _, p := range g.Pairs {
+		fmt.Fprintf(h, "%d:%d;", p[0], p[1])
+	}
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d", g.Executed, g.FinalNow, g.Injected, g.Delivered, g.DeliveredBytes)
+	g.Checksum = fmt.Sprintf("%016x", h.Sum64())
+}
+
+// captureDispatch mirrors Run.Execute's network construction with a
+// dispatch probe attached, running the workload to the horizon.
+func captureDispatch(t *testing.T, policy fabric.Policy, mutate func(*fabric.Config),
+	workload func(traffic.Network) error, until sim.Time) *dispatchGolden {
+	t.Helper()
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fabric.DefaultConfig(topo)
+	cfg.Policy = policy
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	net, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &dispatchGolden{}
+	net.Engine.SetDispatchProbe(func(at sim.Time, seq uint64) {
+		if len(g.Pairs) < maxDispatchPairs {
+			g.Pairs = append(g.Pairs, [2]int64{int64(at), int64(seq)})
+		}
+	})
+	var injectErr error
+	if err := workload(netAdapter{net, &injectErr}); err != nil {
+		t.Fatal(err)
+	}
+	net.Engine.Run(until)
+	if injectErr != nil {
+		t.Fatal(injectErr)
+	}
+	g.Executed = net.Engine.Executed
+	g.FinalNow = int64(net.Engine.Now())
+	g.Injected = net.InjectedPackets
+	g.Delivered = net.DeliveredPackets
+	g.DeliveredBytes = net.DeliveredBytes
+	g.seal()
+	return g
+}
+
+func checkDispatchGolden(t *testing.T, name string, got *dispatchGolden) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_DISPATCH_GOLDEN") != "" {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d pairs, checksum %s)", path, len(got.Pairs), got.Checksum)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with UPDATE_DISPATCH_GOLDEN=1): %v", path, err)
+	}
+	var want dispatchGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != want.Checksum {
+		// Find the first diverging pair for a useful failure message.
+		n := len(want.Pairs)
+		if len(got.Pairs) < n {
+			n = len(got.Pairs)
+		}
+		for i := 0; i < n; i++ {
+			if got.Pairs[i] != want.Pairs[i] {
+				t.Fatalf("dispatch order diverged at event %d: got (t=%d, seq=%d), want (t=%d, seq=%d)",
+					i, got.Pairs[i][0], got.Pairs[i][1], want.Pairs[i][0], want.Pairs[i][1])
+			}
+		}
+		t.Fatalf("dispatch checksum %s != golden %s (pairs identical through %d; executed %d vs %d, delivered %d vs %d)",
+			got.Checksum, want.Checksum, n, got.Executed, want.Executed, got.Delivered, want.Delivered)
+	}
+}
+
+// TestDispatchGoldenFig2 pins the scheduler's dispatch order on the
+// Figure 2 corner-case-1 seed under RECN.
+func TestDispatchGoldenFig2(t *testing.T) {
+	workload, until, err := CornerWorkload(1, 64, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureDispatch(t, fabric.PolicyRECN, nil, workload, until)
+	checkDispatchGolden(t, "dispatch_fig2.json", got)
+}
+
+// TestDispatchGoldenFig3 pins the dispatch order on the Figure 3 SAN
+// trace seed (cello model, compression 20) under RECN.
+func TestDispatchGoldenFig3(t *testing.T) {
+	workload, until := CelloWorkload(20, 0.25)
+	got := captureDispatch(t, fabric.PolicyRECN, celloMutate, workload, until)
+	checkDispatchGolden(t, "dispatch_fig3.json", got)
+}

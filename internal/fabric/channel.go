@@ -44,18 +44,37 @@ type dataSource interface {
 }
 
 // txOrigin remembers where a departing packet came from so residency
-// can be released and controllers informed on completion.
+// can be released and controllers informed on completion. Records are
+// pooled on the Network; ch is bound by the channel that transmits the
+// packet, and the record returns to the pool when the packet reaches
+// the sink (the later of its two scheduled events).
 type txOrigin struct {
+	ch    *channel
 	p     *pkt.Packet
 	q     queueHandle
 	saq   *recn.SAQ // nil for normal queues
 	bytes int
 }
 
+// ctlItem kinds. The item is a value: both message payloads are held
+// inline so queueing control traffic never allocates.
+const (
+	ctlCredit = iota
+	ctlRECN
+)
+
 type ctlItem struct {
 	size   int
-	credit *creditMsg
-	recn   *recn.CtlMsg
+	kind   uint8
+	credit creditMsg
+	recn   recn.CtlMsg
+}
+
+// ctlEv carries a control item from the serializer to its scheduled
+// arrival at the sink. Records are pooled on the Network.
+type ctlEv struct {
+	ch   *channel
+	item ctlItem
 }
 
 // channel is one direction of a full-duplex pipelined link: a
@@ -70,6 +89,10 @@ type channel struct {
 	latency sim.Time
 	// loc is the sending port's trace location (set at attach time).
 	loc trace.Loc
+
+	// attemptFn is ch.attempt bound once, so kick never allocates a
+	// method value on the hot path.
+	attemptFn func()
 
 	busyUntil sim.Time
 	ctl       []ctlItem // FIFO, consumed from index ctlHead
@@ -88,13 +111,15 @@ type channel struct {
 }
 
 func newChannel(net *Network, src dataSource, sink linkSink) *channel {
-	return &channel{
+	ch := &channel{
 		net:     net,
 		src:     src,
 		sink:    sink,
 		rate:    units.LinkRate,
 		latency: net.cfg.LinkLatency,
 	}
+	ch.attemptFn = ch.attempt
+	return ch
 }
 
 // pushCredit enqueues a credit return.
@@ -102,14 +127,13 @@ func (ch *channel) pushCredit(bytes, queue int) {
 	if ch.net.rec != nil {
 		ch.net.rec.Record(trace.EvCredit, ch.loc, "", int64(bytes), int64(queue), 0)
 	}
-	ch.ctl = append(ch.ctl, ctlItem{size: ch.net.cfg.CreditSize, credit: &creditMsg{bytes: bytes, queue: queue}})
+	ch.ctl = append(ch.ctl, ctlItem{size: ch.net.cfg.CreditSize, kind: ctlCredit, credit: creditMsg{bytes: bytes, queue: queue}})
 	ch.kick()
 }
 
 // pushCtl enqueues a RECN control message.
 func (ch *channel) pushCtl(m recn.CtlMsg) {
-	mm := m
-	ch.ctl = append(ch.ctl, ctlItem{size: m.Size(), recn: &mm})
+	ch.ctl = append(ch.ctl, ctlItem{size: m.Size(), kind: ctlRECN, recn: m})
 	ch.kick()
 }
 
@@ -126,7 +150,28 @@ func (ch *channel) kick() {
 		return
 	}
 	ch.kickPending = true
-	e.Schedule(ch.busyUntil, ch.attempt)
+	e.Schedule(ch.busyUntil, ch.attemptFn)
+}
+
+// txDoneEvent fires when a data packet has fully left the sending port
+// RAM: residency releases and the serializer is free for the next
+// grant. The origin stays live — its arrival event is still pending.
+func txDoneEvent(arg any) {
+	o := arg.(*txOrigin)
+	ch := o.ch
+	ch.src.txDone(o)
+	ch.kick()
+}
+
+// dataArriveEvent fires when a data packet reaches the far end of the
+// link. The origin record is recycled before the sink runs: the sink
+// may synchronously grant new transmissions that need a fresh record.
+func dataArriveEvent(arg any) {
+	o := arg.(*txOrigin)
+	ch, p := o.ch, o.p
+	ch.net.freeOrigin(o)
+	ch.inFlight--
+	ch.sink.arriveData(p)
 }
 
 func (ch *channel) attempt() {
@@ -181,6 +226,7 @@ func (ch *channel) attempt() {
 	if o == nil {
 		return
 	}
+	o.ch = ch
 	if ch.net.rec != nil {
 		ch.net.rec.RecordPacket(trace.EvSend, ch.loc, o.p.ID, o.p.Size, o.p.Src, o.p.Dst)
 	}
@@ -192,29 +238,33 @@ func (ch *channel) attempt() {
 			ch.net.rec.Record(trace.EvFault, ch.loc, "data", 0, trace.FaultCorrupt, 0)
 		}
 	}
-	e.Schedule(ch.busyUntil, func() {
-		ch.src.txDone(o)
-		ch.kick()
-	})
+	e.ScheduleArg(ch.busyUntil, txDoneEvent, o)
 	ch.inFlight++
-	e.Schedule(ch.busyUntil+ch.latency, func() {
-		ch.inFlight--
-		ch.sink.arriveData(o.p)
-	})
+	e.ScheduleArg(ch.busyUntil+ch.latency, dataArriveEvent, o)
+}
+
+// ctlArriveEvent delivers a control message to the sink. The event
+// record is recycled before the sink runs (it may synchronously queue
+// new control traffic that needs a record).
+func ctlArriveEvent(arg any) {
+	ev := arg.(*ctlEv)
+	ch, item := ev.ch, ev.item
+	ch.net.freeCtlEv(ev)
+	ch.inFlight--
+	if item.kind == ctlCredit {
+		ch.sink.arriveCredit(item.credit)
+	} else {
+		ch.sink.arriveCtl(item.recn)
+	}
 }
 
 // scheduleCtl schedules a control message's arrival at the sink,
 // tracking it as in flight until delivered.
 func (ch *channel) scheduleCtl(item ctlItem, at sim.Time) {
 	ch.inFlight++
-	ch.net.Engine.Schedule(at, func() {
-		ch.inFlight--
-		if item.credit != nil {
-			ch.sink.arriveCredit(*item.credit)
-		} else {
-			ch.sink.arriveCtl(*item.recn)
-		}
-	})
+	ev := ch.net.allocCtlEv()
+	ev.ch, ev.item = ch, item
+	ch.net.Engine.ScheduleArg(at, ctlArriveEvent, ev)
 }
 
 // quiet reports whether this direction is completely silent: nothing
@@ -225,7 +275,7 @@ func (ch *channel) quiet(now sim.Time) bool {
 
 // faultKind maps a control item to its fault-injection kind.
 func (item ctlItem) faultKind() fault.Kind {
-	if item.credit != nil {
+	if item.kind == ctlCredit {
 		return fault.Credit
 	}
 	switch item.recn.Kind {

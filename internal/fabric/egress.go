@@ -348,7 +348,9 @@ func (u *egressUnit) grant(h queueHandle, s *recn.SAQ, p *pkt.Packet) *txOrigin 
 		u.active.remove(h.idx)
 	}
 	u.consumeCredit(p)
-	return &txOrigin{p: p, q: h, saq: s, bytes: p.Size}
+	o := u.net.allocOrigin()
+	o.p, o.q, o.saq, o.bytes = p, h, s, p.Size
+	return o
 }
 
 // txDone implements dataSource: the packet has fully left the RAM.

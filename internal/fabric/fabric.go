@@ -219,6 +219,20 @@ type Network struct {
 	pktSeq       uint64
 	sweepPending bool
 
+	// Free-lists keeping the steady-state hot path allocation-free
+	// (see pools.go). pktPool recycles delivered packets back into
+	// injection; the rest recycle pooled event records.
+	pktPool pkt.Pool
+	origins []*txOrigin
+	ctlEvs  []*ctlEv
+	xfers   []*xferRec
+
+	// Prebound periodic-event thunks: binding the method values once at
+	// construction keeps the rearm paths allocation-free.
+	runSweepFn     func()
+	watchdogTickFn func()
+	traceSampleFn  func()
+
 	// Flight recorder (nil when tracing is disabled).
 	rec            *trace.Recorder
 	probes         []traceProbe
@@ -231,7 +245,9 @@ type Network struct {
 	watchdog watchdogState
 
 	// OnDeliver, when set, observes every packet at the instant it is
-	// fully delivered to its destination host.
+	// fully delivered to its destination host. The packet is recycled
+	// into the injection pool as soon as the callback returns, so
+	// observers must copy any fields they need and must not retain p.
 	OnDeliver func(p *pkt.Packet)
 
 	// Aggregate counters.
@@ -259,6 +275,9 @@ func New(cfg Config) (*Network, error) {
 		topo:    cfg.Topo,
 		lastSeq: make(map[uint64]uint64),
 	}
+	n.runSweepFn = n.runSweep
+	n.watchdogTickFn = n.watchdogTick
+	n.traceSampleFn = n.traceSample
 	topo := cfg.Topo
 	n.switches = make([]*Switch, topo.NumSwitches())
 	for id := range n.switches {
@@ -405,7 +424,7 @@ func (n *Network) scheduleSweep() {
 		return
 	}
 	n.sweepPending = true
-	n.Engine.After(idleSweepPeriod, n.runSweep)
+	n.Engine.After(idleSweepPeriod, n.runSweepFn)
 }
 
 func (n *Network) runSweep() {
@@ -429,11 +448,13 @@ func (n *Network) runSweep() {
 	}
 	if total, _, _ := n.SAQUsage(); total > 0 {
 		n.sweepPending = true
-		n.Engine.After(idleSweepPeriod, n.runSweep)
+		n.Engine.After(idleSweepPeriod, n.runSweepFn)
 	}
 }
 
 // deliver is called by a NIC when a packet fully arrives at its host.
+// The packet returns to the pool when deliver returns: OnDeliver
+// observers must copy what they need, never retain p.
 func (n *Network) deliver(p *pkt.Packet) {
 	n.DeliveredPackets++
 	n.DeliveredBytes += uint64(p.Size)
@@ -451,6 +472,7 @@ func (n *Network) deliver(p *pkt.Packet) {
 	if n.OnDeliver != nil {
 		n.OnDeliver(p)
 	}
+	n.pktPool.Put(p)
 }
 
 // SAQUsage returns the current total number of allocated SAQs in the

@@ -94,8 +94,10 @@ func TestSinglePacketDelivery(t *testing.T) {
 	for _, policy := range Policies {
 		t.Run(policy.String(), func(t *testing.T) {
 			n := newNet(t, 64, policy)
-			var got []*pkt.Packet
-			n.OnDeliver = func(p *pkt.Packet) { got = append(got, p) }
+			// Delivered packets are recycled after OnDeliver returns, so
+			// the observer copies values instead of retaining pointers.
+			var got []pkt.Packet
+			n.OnDeliver = func(p *pkt.Packet) { got = append(got, *p) }
 			if err := n.InjectMessage(3, 60, 64); err != nil {
 				t.Fatal(err)
 			}

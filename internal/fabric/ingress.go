@@ -34,6 +34,10 @@ type ingressUnit struct {
 	saqScratch  []*recn.SAQ
 	wrrDebt     int
 	kickPending bool
+
+	// arbitFn is u.arbit bound once, so kick never allocates a method
+	// value on the hot path.
+	arbitFn func()
 }
 
 func newIngressUnit(net *Network, sw *Switch, port int) *ingressUnit {
@@ -44,6 +48,7 @@ func newIngressUnit(net *Network, sw *Switch, port int) *ingressUnit {
 		port: port,
 		pool: mempool.NewPool(cfg.PortMemory),
 	}
+	u.arbitFn = u.arbit
 	nq, cap := ingressQueuePlan(cfg)
 	u.qs = make([]*mempool.Queue, nq)
 	for i := range u.qs {
@@ -112,7 +117,7 @@ func (u *ingressUnit) kick() {
 		return
 	}
 	u.kickPending = true
-	u.net.Engine.Schedule(u.net.Engine.Now(), u.arbit)
+	u.net.Engine.Schedule(u.net.Engine.Now(), u.arbitFn)
 }
 
 // arbit is the crossbar request arbiter for this input port: pick the

@@ -70,6 +70,9 @@ type NIC struct {
 	routes []pkt.Route
 
 	pumpScheduled bool
+	// runPumpFn is nic.runPump bound once, so pump never allocates a
+	// method value on the hot path.
+	runPumpFn func()
 }
 
 func newNIC(net *Network, host int) *NIC {
@@ -86,6 +89,7 @@ func newNIC(net *Network, host int) *NIC {
 		seq:        make(map[uint32]uint64),
 		routes:     make([]pkt.Route, hosts),
 	}
+	nic.runPumpFn = nic.runPump
 	nic.inj = newEgressUnit(net, nil, 0, true)
 	nic.inj.nic = nic
 	return nic
@@ -137,7 +141,8 @@ func (nic *NIC) injectMessage(dst, size int, class uint8) error {
 		}
 		nic.net.pktSeq++
 		nic.seq[seqKey]++
-		p := &pkt.Packet{
+		p := nic.net.pktPool.Get()
+		*p = pkt.Packet{
 			ID:        nic.net.pktSeq,
 			Src:       nic.host,
 			Dst:       dst,
@@ -166,7 +171,7 @@ func (nic *NIC) pump() {
 		return
 	}
 	nic.pumpScheduled = true
-	nic.net.Engine.Schedule(nic.net.Engine.Now(), nic.runPump)
+	nic.net.Engine.Schedule(nic.net.Engine.Now(), nic.runPumpFn)
 }
 
 func (nic *NIC) runPump() {
@@ -207,13 +212,15 @@ func (nic *NIC) runPump() {
 // --- linkSink (the switch→host channel) ---
 
 // arriveData delivers a packet to the host: it is consumed immediately
-// and the buffer credit returns to the last switch.
+// and the buffer credit returns to the last switch. deliver recycles
+// the packet, so the credit size is copied out first.
 func (nic *NIC) arriveData(p *pkt.Packet) {
 	if nic.net.rec != nil {
 		nic.net.rec.RecordPacket(trace.EvRecv, nic.hostLoc(), p.ID, p.Size, p.Src, p.Dst)
 	}
+	size := p.Size
 	nic.net.deliver(p)
-	nic.inj.ch.pushCredit(p.Size, -1)
+	nic.inj.ch.pushCredit(size, -1)
 }
 
 // arriveCredit returns injection credits from the first switch.

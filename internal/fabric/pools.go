@@ -1,0 +1,54 @@
+package fabric
+
+// This file holds the Network's event-record free-lists. Together with
+// the packet pool they make the steady-state hot path allocation-free:
+// every record scheduled into the engine (transmission origins, control
+// arrivals, crossbar transfers) is recycled when its event fires.
+//
+// All lists are plain LIFO slices, deliberately not sync.Pool: the
+// simulation is single-goroutine per engine, and sync.Pool's
+// GC-coupled eviction would make reuse patterns (and therefore any
+// accidental stale-pointer bug) timing-dependent instead of
+// reproducible.
+
+func (n *Network) allocOrigin() *txOrigin {
+	if k := len(n.origins); k > 0 {
+		o := n.origins[k-1]
+		n.origins = n.origins[:k-1]
+		return o
+	}
+	return &txOrigin{}
+}
+
+func (n *Network) freeOrigin(o *txOrigin) {
+	*o = txOrigin{}
+	n.origins = append(n.origins, o)
+}
+
+func (n *Network) allocCtlEv() *ctlEv {
+	if k := len(n.ctlEvs); k > 0 {
+		ev := n.ctlEvs[k-1]
+		n.ctlEvs = n.ctlEvs[:k-1]
+		return ev
+	}
+	return &ctlEv{}
+}
+
+func (n *Network) freeCtlEv(ev *ctlEv) {
+	*ev = ctlEv{}
+	n.ctlEvs = append(n.ctlEvs, ev)
+}
+
+func (n *Network) allocXfer() *xferRec {
+	if k := len(n.xfers); k > 0 {
+		x := n.xfers[k-1]
+		n.xfers = n.xfers[:k-1]
+		return x
+	}
+	return &xferRec{}
+}
+
+func (n *Network) freeXfer(x *xferRec) {
+	*x = xferRec{}
+	n.xfers = append(n.xfers, x)
+}

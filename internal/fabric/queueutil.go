@@ -60,7 +60,7 @@ func peelHead(q *mempool.Queue, resolve func(uid int)) (*pkt.Packet, bool) {
 		if e.IsMarker() {
 			q.Pop()
 			if resolve != nil {
-				resolve(e.Marker.SAQ)
+				resolve(e.MarkerSAQ())
 			}
 			continue
 		}

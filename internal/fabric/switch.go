@@ -82,6 +82,28 @@ func (sw *Switch) kickAllInputs() {
 	}
 }
 
+// xferRec carries one in-flight crossbar transfer from grant to
+// completion. Records are pooled on the Network so granting a transfer
+// never allocates.
+type xferRec struct {
+	sw  *Switch
+	in  *ingressUnit
+	h   queueHandle
+	s   *recn.SAQ
+	p   *pkt.Packet
+	out int
+}
+
+// xferDoneEvent completes a crossbar transfer. The record is recycled
+// before completeTransfer runs: completion re-arbitrates every input
+// port, which may synchronously grant transfers needing fresh records.
+func xferDoneEvent(arg any) {
+	x := arg.(*xferRec)
+	sw, in, h, s, p, out := x.sw, x.in, x.h, x.s, x.p, x.out
+	sw.net.freeXfer(x)
+	sw.completeTransfer(in, h, s, p, out)
+}
+
 // startTransfer moves a granted packet from an input queue through the
 // crossbar into the target output port. Called by the input arbiter
 // once eligibility (lanes, admission) has been verified.
@@ -94,9 +116,9 @@ func (sw *Switch) startTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *
 		in.active.remove(h.idx)
 	}
 	dur := units.CrossbarRate.Serialize(p.Size)
-	sw.net.Engine.After(dur, func() {
-		sw.completeTransfer(in, h, s, p, out)
-	})
+	x := sw.net.allocXfer()
+	x.sw, x.in, x.h, x.s, x.p, x.out = sw, in, h, s, p, out
+	sw.net.Engine.AfterArg(dur, xferDoneEvent, x)
 }
 
 func (sw *Switch) completeTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *pkt.Packet, out int) {

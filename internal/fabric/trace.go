@@ -227,7 +227,7 @@ func (n *Network) armTraceSampler() {
 		return
 	}
 	n.samplerPending = true
-	n.Engine.After(n.rec.MetricsBin(), n.traceSample)
+	n.Engine.After(n.rec.MetricsBin(), n.traceSampleFn)
 }
 
 func (n *Network) traceSample() {
@@ -239,6 +239,6 @@ func (n *Network) traceSample() {
 	}
 	if n.PendingPackets() > 0 || n.saqsLive() {
 		n.samplerPending = true
-		n.Engine.After(n.rec.MetricsBin(), n.traceSample)
+		n.Engine.After(n.rec.MetricsBin(), n.traceSampleFn)
 	}
 }

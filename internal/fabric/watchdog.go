@@ -33,7 +33,7 @@ func (n *Network) armWatchdog() {
 		return
 	}
 	n.watchdog.pending = true
-	n.Engine.After(n.recovery.Period, n.watchdogTick)
+	n.Engine.After(n.recovery.Period, n.watchdogTickFn)
 }
 
 func (n *Network) watchdogTick() {
@@ -131,7 +131,7 @@ func (n *Network) watchdogTick() {
 
 	if n.PendingPackets() > 0 || n.saqsLive() || n.creditsDirty() {
 		w.pending = true
-		n.Engine.After(rec.Period, n.watchdogTick)
+		n.Engine.After(rec.Period, n.watchdogTickFn)
 	}
 }
 

@@ -57,23 +57,23 @@ func (p *Pool) release(n int) {
 	p.used -= n
 }
 
-// Marker is an in-order marker stored in a queue: when it reaches the
-// head, the SAQ it names may start transmitting (paper §3.8).
-type Marker struct {
-	SAQ int // identifier of the SAQ to unblock
-}
-
-// Entry is one queue element: exactly one of Packet or Marker semantics.
-// Size is the packet size in bytes (markers are zero-size control-RAM
-// entries).
+// Entry is one queue element: either a packet or an in-order marker
+// (paper §3.8 — when a marker reaches the head, the SAQ it names may
+// start transmitting). Size is the packet size in bytes (markers are
+// zero-size control-RAM entries). The marker is held inline so pushing
+// one costs no allocation.
 type Entry struct {
 	Size   int
 	Data   interface{} // the packet payload (opaque to this package)
-	Marker *Marker
+	saq    int
+	marker bool
 }
 
 // IsMarker reports whether the entry is an in-order marker.
-func (e Entry) IsMarker() bool { return e.Marker != nil }
+func (e Entry) IsMarker() bool { return e.marker }
+
+// MarkerSAQ returns the identifier of the SAQ a marker entry unblocks.
+func (e Entry) MarkerSAQ() int { return e.saq }
 
 // Queue is a FIFO of packets (and markers) backed by a Pool. A Queue
 // may additionally have a private byte cap (VOQ policies divide the
@@ -133,7 +133,7 @@ func (q *Queue) Push(n int, data interface{}) {
 
 // PushMarker appends an in-order marker naming a SAQ.
 func (q *Queue) PushMarker(saq int) {
-	q.push(Entry{Marker: &Marker{SAQ: saq}})
+	q.push(Entry{saq: saq, marker: true})
 }
 
 func (q *Queue) push(e Entry) {

@@ -124,7 +124,7 @@ func TestMarkers(t *testing.T) {
 	}
 	q.Pop()
 	e, ok := q.Head()
-	if !ok || !e.IsMarker() || e.Marker.SAQ != 3 {
+	if !ok || !e.IsMarker() || e.MarkerSAQ() != 3 {
 		t.Fatalf("head after pop: %+v", e)
 	}
 	m := q.Pop()

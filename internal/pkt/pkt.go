@@ -25,13 +25,67 @@ type Route []Turn
 
 // Path is a sequence of turns from a given port toward a congestion
 // root. Paths are immutable once built; share freely.
+//
+// The first packedTurns turns are packed one byte per turn into two
+// machine words (turn i lives in byte i), so the common operations —
+// prefix tests, CAM compares, Prepend/Rest — are a couple of word ops
+// with no allocation. Paths longer than packedTurns (which never occur
+// on the paper's topologies; routes there have ≤5 hops) additionally
+// spill the full turn sequence into ext. The representation is
+// canonical (bytes at or beyond Len are zero; ext is empty iff
+// Len ≤ packedTurns), so Go's == compares paths correctly and Path
+// remains usable as a map key.
 type Path struct {
-	turns string // string for cheap comparison and map keys
+	w0, w1 uint64
+	n      int32
+	ext    string // all turns, set only when n > packedTurns
+}
+
+// packedTurns is the number of turns held in the packed words.
+const packedTurns = 16
+
+func packBytes(p *Path, s string) {
+	m := len(s)
+	if m > packedTurns {
+		m = packedTurns
+	}
+	for i := 0; i < m && i < 8; i++ {
+		p.w0 |= uint64(s[i]) << (8 * i)
+	}
+	for i := 8; i < m; i++ {
+		p.w1 |= uint64(s[i]) << (8 * (i - 8))
+	}
+}
+
+// packString builds a canonical Path from a full turn string. Substrings
+// of an existing ext share its backing, so Rest on a long path does not
+// allocate.
+func packString(s string) Path {
+	p := Path{n: int32(len(s))}
+	if len(s) > packedTurns {
+		p.ext = s
+	}
+	packBytes(&p, s)
+	return p
 }
 
 // PathOf builds a path from a sequence of turns.
 func PathOf(turns ...Turn) Path {
-	return Path{turns: string(turns)}
+	p := Path{n: int32(len(turns))}
+	if len(turns) > packedTurns {
+		p.ext = string(turns)
+	}
+	m := len(turns)
+	if m > packedTurns {
+		m = packedTurns
+	}
+	for i := 0; i < m && i < 8; i++ {
+		p.w0 |= uint64(turns[i]) << (8 * i)
+	}
+	for i := 8; i < m; i++ {
+		p.w1 |= uint64(turns[i]) << (8 * (i - 8))
+	}
+	return p
 }
 
 // PathFromRoute builds the path consisting of route[from:from+n].
@@ -39,55 +93,164 @@ func PathFromRoute(r Route, from, n int) Path {
 	if from < 0 || n < 0 || from+n > len(r) {
 		panic(fmt.Sprintf("pkt: PathFromRoute(%v, %d, %d) out of range", r, from, n))
 	}
-	b := make([]byte, n)
-	for i := 0; i < n; i++ {
-		b[i] = r[from+i]
-	}
-	return Path{turns: string(b)}
+	return PathOf(r[from : from+n]...)
 }
 
 // Empty reports whether the path has no turns (the root itself).
-func (p Path) Empty() bool { return len(p.turns) == 0 }
+func (p Path) Empty() bool { return p.n == 0 }
 
 // Len returns the number of turns in the path.
-func (p Path) Len() int { return len(p.turns) }
+func (p Path) Len() int { return int(p.n) }
 
 // First returns the first turn. It panics on an empty path.
 func (p Path) First() Turn {
-	if p.Empty() {
+	if p.n == 0 {
 		panic("pkt: First on empty path")
 	}
-	return p.turns[0]
+	return Turn(p.w0)
 }
 
 // Rest returns the path without its first turn.
 func (p Path) Rest() Path {
-	if p.Empty() {
+	if p.n == 0 {
 		panic("pkt: Rest on empty path")
 	}
-	return Path{turns: p.turns[1:]}
+	if p.ext != "" {
+		return packString(p.ext[1:])
+	}
+	return Path{
+		w0: p.w0>>8 | p.w1<<56,
+		w1: p.w1 >> 8,
+		n:  p.n - 1,
+	}
 }
 
 // Prepend returns the path extended upstream with turn t (the paper's
 // "extend the path information with the turn of the current switch").
 func (p Path) Prepend(t Turn) Path {
-	return Path{turns: string([]byte{t}) + p.turns}
+	if p.n < packedTurns {
+		return Path{
+			w0: p.w0<<8 | uint64(t),
+			w1: p.w1<<8 | p.w0>>56,
+			n:  p.n + 1,
+		}
+	}
+	return packString(string([]byte{byte(t)}) + p.full())
+}
+
+// full returns all turns as a string (allocating unless spilled).
+func (p Path) full() string {
+	if p.ext != "" {
+		return p.ext
+	}
+	b := make([]byte, p.n)
+	for i := range b {
+		b[i] = byte(p.Turn(i))
+	}
+	return string(b)
 }
 
 // Turn returns the i-th turn of the path.
-func (p Path) Turn(i int) Turn { return p.turns[i] }
+func (p Path) Turn(i int) Turn {
+	if i < 0 || i >= int(p.n) {
+		panic(fmt.Sprintf("pkt: Turn(%d) on %d-turn path", i, p.n))
+	}
+	switch {
+	case i < 8:
+		return Turn(p.w0 >> (8 * i))
+	case i < packedTurns:
+		return Turn(p.w1 >> (8 * (i - 8)))
+	default:
+		return p.ext[i]
+	}
+}
 
 // Equal reports path equality.
-func (p Path) Equal(q Path) bool { return p.turns == q.turns }
+func (p Path) Equal(q Path) bool { return p == q }
+
+// prefixMasks returns the word masks selecting the first n packed turns
+// (n must be ≤ packedTurns).
+func prefixMasks(n int) (m0, m1 uint64) {
+	if n >= 8 {
+		if n >= packedTurns {
+			return ^uint64(0), ^uint64(0)
+		}
+		return ^uint64(0), uint64(1)<<(8*(n-8)) - 1
+	}
+	return uint64(1)<<(8*n) - 1, 0
+}
 
 // HasPrefix reports whether q is a prefix of p (every route crossing
 // p's root first crosses q's root when true).
 func (p Path) HasPrefix(q Path) bool {
-	return len(p.turns) >= len(q.turns) && p.turns[:len(q.turns)] == q.turns
+	if q.n > p.n {
+		return false
+	}
+	if q.n <= packedTurns {
+		m0, m1 := prefixMasks(int(q.n))
+		return (p.w0^q.w0)&m0 == 0 && (p.w1^q.w1)&m1 == 0
+	}
+	// Both paths spill (q.n > packedTurns and p.n ≥ q.n).
+	return strings.HasPrefix(p.ext, q.ext)
 }
 
-// Key returns a value usable as a map key (stable across calls).
-func (p Path) Key() string { return p.turns }
+// Key returns a value usable as a map key (stable across calls). Path
+// itself is comparable, so hot code should key on the Path directly;
+// Key remains for string contexts (trace records).
+func (p Path) Key() string { return p.full() }
+
+// PackedRoute is a route suffix packed the same way CAM lines pack
+// their paths, so one PackRoute amortizes the packing across every
+// line compared in a CAM match.
+type PackedRoute struct {
+	w0, w1 uint64
+	rem    Route
+	ok     bool
+}
+
+// PackRoute packs the remaining route r[hop:] for repeated MatchesPacked
+// calls. An out-of-range hop yields a PackedRoute nothing matches.
+func PackRoute(r Route, hop int) PackedRoute {
+	if hop < 0 || hop > len(r) {
+		return PackedRoute{}
+	}
+	rem := r[hop:]
+	pr := PackedRoute{rem: rem, ok: true}
+	m := len(rem)
+	if m > packedTurns {
+		m = packedTurns
+	}
+	for i := 0; i < m && i < 8; i++ {
+		pr.w0 |= uint64(rem[i]) << (8 * i)
+	}
+	for i := 8; i < m; i++ {
+		pr.w1 |= uint64(rem[i]) << (8 * (i - 8))
+	}
+	return pr
+}
+
+// MatchesPacked reports whether the packed route remainder begins with
+// this path. It is MatchesRoute with the packing hoisted out.
+func (p Path) MatchesPacked(pr PackedRoute) bool {
+	n := int(p.n)
+	if !pr.ok || n > len(pr.rem) {
+		return false
+	}
+	k := n
+	if k > packedTurns {
+		k = packedTurns
+	}
+	m0, m1 := prefixMasks(k)
+	if (pr.w0^p.w0)&m0 != 0 || (pr.w1^p.w1)&m1 != 0 {
+		return false
+	}
+	for i := packedTurns; i < n; i++ {
+		if pr.rem[i] != p.ext[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // MatchesRoute reports whether the packet's remaining route (r[hop:])
 // begins with this path, i.e. whether the packet will cross the point
@@ -97,11 +260,11 @@ func (p Path) MatchesRoute(r Route, hop int) bool {
 		return false
 	}
 	rem := r[hop:]
-	if len(p.turns) > len(rem) {
+	if int(p.n) > len(rem) {
 		return false
 	}
-	for i := 0; i < len(p.turns); i++ {
-		if rem[i] != p.turns[i] {
+	for i := 0; i < int(p.n); i++ {
+		if rem[i] != p.Turn(i) {
 			return false
 		}
 	}
@@ -113,18 +276,18 @@ func (p Path) String() string {
 		return "<root>"
 	}
 	var sb strings.Builder
-	for i := 0; i < len(p.turns); i++ {
+	for i := 0; i < int(p.n); i++ {
 		if i > 0 {
 			sb.WriteByte('.')
 		}
-		fmt.Fprintf(&sb, "%d", p.turns[i])
+		fmt.Fprintf(&sb, "%d", p.Turn(i))
 	}
 	return sb.String()
 }
 
 // Packet is a single network packet. Packets are allocated once at
-// injection and travel by pointer; fields other than Hop are immutable
-// after injection.
+// injection (or taken from a Pool) and travel by pointer; fields other
+// than Hop are immutable after injection.
 type Packet struct {
 	ID   uint64
 	Src  int // source host
@@ -168,4 +331,36 @@ func (p *Packet) HopsLeft() int { return len(p.Route) - p.Hop }
 
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt{%d %d→%d %dB hop %d/%d}", p.ID, p.Src, p.Dst, p.Size, p.Hop, len(p.Route))
+}
+
+// Pool is a LIFO free-list of packets. It is a plain slice, NOT a
+// sync.Pool: sync.Pool's reuse depends on GC timing and per-P caches,
+// which would make packet identity (and anything hashed from pointers
+// or allocation order) run-dependent. A slice free-list is fully
+// deterministic — the same program order always recycles the same
+// records — and single-threaded, matching the one-goroutine-per-engine
+// model. The zero value is ready to use.
+//
+// Put hands the packet's memory back to the pool: the caller must be
+// the last holder. Observers that want to keep delivered packets must
+// copy the Packet value, not retain the pointer.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a freed one when available.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// Put recycles a packet. The pointer must not be used afterwards.
+func (pl *Pool) Put(p *Packet) {
+	pl.free = append(pl.free, p)
 }

@@ -38,19 +38,24 @@ type Egress struct {
 	// non-congested flows, thus providing support for multiple traffic
 	// classes").
 	normals []*mempool.Queue
-	saqs    map[int]*SAQ // by CAM line ID
-	byUID   map[int]*SAQ
-	uidSeq  int
+	// saqs is indexed by CAM line ID (nil = free line); with ≤8 lines,
+	// slice indexing and linear UID scans beat maps and never allocate.
+	saqs   []*SAQ
+	active int
+	// freed SAQs are recycled (with their queues) through a plain LIFO
+	// free-list — deterministic, unlike sync.Pool.
+	free   []*SAQ
+	uidSeq int
 
 	// Root state: this port's normal queue is the root of a
 	// congestion tree. rootNotified dedups recruiting per input port;
 	// rootBranch tracks which inputs actually hold a token (refusals
-	// set the first but not the second). Tracking identities rather
-	// than a counter keeps tokens from different episodes from
-	// corrupting the accounting.
+	// set the first but not the second). Tracking identities (as port
+	// bitmasks) rather than a counter keeps tokens from different
+	// episodes from corrupting the accounting.
 	root         bool
-	rootNotified map[int]bool
-	rootBranch   map[int]bool
+	rootNotified uint64
+	rootBranch   uint64
 
 	fx    EgressEffects
 	tr    Tracer
@@ -77,18 +82,46 @@ func NewEgress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queu
 		panic("recn: NewEgress without normal queues")
 	}
 	return &Egress{
-		cfg:          cfg,
-		port:         port,
-		terminal:     terminal,
-		cam:          cam.New(cfg.MaxSAQs),
-		pool:         pool,
-		normals:      normals,
-		saqs:         make(map[int]*SAQ),
-		byUID:        make(map[int]*SAQ),
-		rootNotified: make(map[int]bool),
-		rootBranch:   make(map[int]bool),
-		fx:           fx,
+		cfg:      cfg,
+		port:     port,
+		terminal: terminal,
+		cam:      cam.New(cfg.MaxSAQs),
+		pool:     pool,
+		normals:  normals,
+		saqs:     make([]*SAQ, cfg.MaxSAQs),
+		fx:       fx,
 	}
+}
+
+// takeSAQ recycles (or builds) a SAQ for CAM line id. The queue object
+// is reused across allocations: deallocation requires an idle queue, so
+// a recycled queue is always empty with no resident bytes.
+func (e *Egress) takeSAQ(id int, path pkt.Path) *SAQ {
+	e.uidSeq++
+	var s *SAQ
+	if n := len(e.free); n > 0 {
+		s = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*s = SAQ{Q: s.Q}
+	} else {
+		s = &SAQ{Q: mempool.NewQueue(e.pool, 0)}
+	}
+	s.ID = id
+	s.UID = e.uidSeq
+	s.Path = path
+	return s
+}
+
+// saqByUID finds a live SAQ by its unique ID (nil when gone — stale
+// markers reference deallocated UIDs).
+func (e *Egress) saqByUID(uid int) *SAQ {
+	for _, s := range e.saqs {
+		if s != nil && s.UID == uid {
+			return s
+		}
+	}
+	return nil
 }
 
 // Classify returns the SAQ an arriving packet (already forwarded
@@ -158,13 +191,13 @@ func (e *Egress) detectRoot(ingress int) {
 	if occ < e.cfg.DetectBytes {
 		return
 	}
-	if ingress < 0 || e.rootNotified[ingress] {
+	if ingress < 0 || e.rootNotified&portBit(ingress) != 0 {
 		return
 	}
-	e.rootNotified[ingress] = true
+	e.rootNotified |= portBit(ingress)
 	e.stats.NotifySent++
 	if e.fx.NotifyIngress(ingress, pkt.PathOf(pkt.Turn(e.port))) {
-		e.rootBranch[ingress] = true
+		e.rootBranch |= portBit(ingress)
 	} else {
 		e.stats.Refusals++
 	}
@@ -174,13 +207,13 @@ func (e *Egress) detectRoot(ingress int) {
 // port `ingress` (paper §3.4: the path is extended with the turn of the
 // current switch).
 func (e *Egress) notifyIngress(s *SAQ, ingress int) {
-	if e.terminal || ingress < 0 || s.notified[ingress] {
+	if e.terminal || ingress < 0 || s.notified&portBit(ingress) != 0 {
 		return
 	}
-	s.notified[ingress] = true
+	s.notified |= portBit(ingress)
 	e.stats.NotifySent++
 	if e.fx.NotifyIngress(ingress, s.Path.Prepend(pkt.Turn(e.port))) {
-		s.branchOut[ingress] = true
+		s.branchOut |= portBit(ingress)
 		s.leaf = false
 	} else {
 		e.stats.Refusals++
@@ -204,18 +237,10 @@ func (e *Egress) OnUpstreamNotification(path pkt.Path) {
 		e.sendToken(path, true)
 		return
 	}
-	e.uidSeq++
-	s := &SAQ{
-		ID:        id,
-		UID:       e.uidSeq,
-		Path:      path,
-		Q:         mempool.NewQueue(e.pool, 0),
-		leaf:      true,
-		notified:  make(map[int]bool),
-		branchOut: make(map[int]bool),
-	}
+	s := e.takeSAQ(id, path)
+	s.leaf = true
 	e.saqs[id] = s
-	e.byUID[s.UID] = s
+	e.active++
 	if !e.cfg.NoInOrderMarkers {
 		// In-order markers: the normal queue, plus every SAQ with a
 		// proper prefix path (its packets may match the longer path).
@@ -243,7 +268,7 @@ func (e *Egress) OnUpstreamNotification(path pkt.Path) {
 // Queues that only held markers may now be idle, so deallocation is
 // re-checked everywhere.
 func (e *Egress) ResolveMarker(uid int) {
-	if s, ok := e.byUID[uid]; ok && s.markersPending > 0 {
+	if s := e.saqByUID(uid); s != nil && s.markersPending > 0 {
 		s.markersPending--
 	}
 	// CAM-line order, not map order: deallocations send tokens, and
@@ -260,12 +285,12 @@ func (e *Egress) OnTokenFromIngress(ingress int, rest pkt.Path) {
 		// Clearing the recruit flag lets the input be re-notified if
 		// congestion persists; only tokens this root actually handed
 		// out count toward collapse.
-		delete(e.rootNotified, ingress)
-		if !e.root || !e.rootBranch[ingress] {
+		e.rootNotified &^= portBit(ingress)
+		if !e.root || e.rootBranch&portBit(ingress) == 0 {
 			e.stats.StaleMsgs++
 			return
 		}
-		delete(e.rootBranch, ingress)
+		e.rootBranch &^= portBit(ingress)
 		e.maybeClearRoot()
 		return
 	}
@@ -275,13 +300,13 @@ func (e *Egress) OnTokenFromIngress(ingress int, rest pkt.Path) {
 		return
 	}
 	s := e.saqs[id]
-	delete(s.notified, ingress)
-	if !s.branchOut[ingress] {
+	s.notified &^= portBit(ingress)
+	if s.branchOut&portBit(ingress) == 0 {
 		e.stats.StaleMsgs++
 		return
 	}
-	delete(s.branchOut, ingress)
-	if len(s.branchOut) == 0 {
+	s.branchOut &^= portBit(ingress)
+	if s.branchOut == 0 {
 		s.leaf = true
 	}
 	e.maybeDealloc(s)
@@ -315,7 +340,7 @@ func (e *Egress) EligibleTx(s *SAQ) bool {
 // owns a token and holds only a few packets, so draining it lets the
 // tree collapse (paper §3.8).
 func (e *Egress) Boosted(s *SAQ) bool {
-	return s.leaf && len(s.branchOut) == 0 && s.Q.Packets() <= e.cfg.BoostPackets && s.Q.Packets() > 0
+	return s.leaf && s.branchOut == 0 && s.Q.Packets() <= e.cfg.BoostPackets && s.Q.Packets() > 0
 }
 
 // OnDrained is called by the fabric after a packet previously stored in
@@ -333,9 +358,9 @@ func (e *Egress) OnDrained(s *SAQ) {
 }
 
 func (e *Egress) maybeClearRoot() {
-	if e.root && len(e.rootBranch) == 0 && e.normalBytes() < e.cfg.DetectBytes {
+	if e.root && e.rootBranch == 0 && e.normalBytes() < e.cfg.DetectBytes {
 		e.root = false
-		e.rootNotified = make(map[int]bool)
+		e.rootNotified = 0
 	}
 }
 
@@ -344,7 +369,7 @@ func (e *Egress) maybeClearRoot() {
 // SAQ must have been used: a freshly allocated SAQ whose packets are
 // still in flight toward it must not bounce (alloc/dealloc thrash).
 func (e *Egress) maybeDealloc(s *SAQ) {
-	if !s.used || !s.leaf || len(s.branchOut) != 0 || !s.Q.Idle() {
+	if !s.used || !s.leaf || s.branchOut != 0 || !s.Q.Idle() {
 		return
 	}
 	e.dealloc(s)
@@ -358,7 +383,7 @@ func (e *Egress) SweepIdle() {
 	// CAM-line order, not map order: deallocations send tokens, and
 	// their relative order must be identical across runs.
 	e.ForEachSAQ(func(s *SAQ) {
-		if s.leaf && len(s.branchOut) == 0 && s.Q.Idle() {
+		if s.leaf && s.branchOut == 0 && s.Q.Idle() {
 			e.dealloc(s)
 		}
 	})
@@ -366,13 +391,15 @@ func (e *Egress) SweepIdle() {
 
 func (e *Egress) dealloc(s *SAQ) {
 	e.cam.Free(s.ID)
-	delete(e.saqs, s.ID)
-	delete(e.byUID, s.UID)
+	e.saqs[s.ID] = nil
+	e.active--
 	e.stats.Deallocs++
 	if e.tr != nil {
 		e.tr.SAQDealloc(s.ID, s.UID, s.Path)
 	}
-	e.sendToken(s.Path, false)
+	path := s.Path
+	e.free = append(e.free, s)
+	e.sendToken(path, false)
 }
 
 // sendToken returns a token downstream. NIC injection ports send it
@@ -422,9 +449,8 @@ func (e *Egress) normalBytes() int {
 // cleared. Iterates in CAM line order for determinism.
 func (e *Egress) AuditRemoteStops(limit int) int {
 	cleared := 0
-	for id := 0; id < e.cfg.MaxSAQs; id++ {
-		s, ok := e.saqs[id]
-		if !ok {
+	for _, s := range e.saqs {
+		if s == nil {
 			continue
 		}
 		if !s.xoffRemote {
@@ -445,15 +471,20 @@ func (e *Egress) AuditRemoteStops(limit int) int {
 func (e *Egress) Root() bool { return e.root }
 
 // ActiveSAQs returns the number of SAQs currently allocated.
-func (e *Egress) ActiveSAQs() int { return len(e.saqs) }
+func (e *Egress) ActiveSAQs() int { return e.active }
 
-// SAQByID returns a SAQ by CAM line ID.
-func (e *Egress) SAQByID(id int) *SAQ { return e.saqs[id] }
+// SAQByID returns a SAQ by CAM line ID (nil when the line is free).
+func (e *Egress) SAQByID(id int) *SAQ {
+	if id < 0 || id >= len(e.saqs) {
+		return nil
+	}
+	return e.saqs[id]
+}
 
 // ForEachSAQ iterates over allocated SAQs in CAM line order.
 func (e *Egress) ForEachSAQ(fn func(s *SAQ)) {
-	for id := 0; id < e.cfg.MaxSAQs; id++ {
-		if s, ok := e.saqs[id]; ok {
+	for _, s := range e.saqs {
+		if s != nil {
 			fn(s)
 		}
 	}
@@ -463,5 +494,5 @@ func (e *Egress) ForEachSAQ(fn func(s *SAQ)) {
 func (e *Egress) Stats() Stats { return e.stats }
 
 func (e *Egress) String() string {
-	return fmt.Sprintf("egress{port %d, %d SAQs, root=%v}", e.port, len(e.saqs), e.root)
+	return fmt.Sprintf("egress{port %d, %d SAQs, root=%v}", e.port, e.active, e.root)
 }

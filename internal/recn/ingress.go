@@ -28,9 +28,14 @@ type Ingress struct {
 	cam     *cam.Table
 	pool    *mempool.Pool
 	normals []*mempool.Queue // queues for uncongested flows (per class)
-	saqs    map[int]*SAQ
-	byUID   map[int]*SAQ
-	uidSeq  int
+	// saqs is indexed by CAM line ID (nil = free line); with ≤8 lines,
+	// slice indexing and linear UID scans beat maps and never allocate.
+	saqs   []*SAQ
+	active int
+	// freed SAQs are recycled (with their queues) through a plain LIFO
+	// free-list — deterministic, unlike sync.Pool.
+	free   []*SAQ
+	uidSeq int
 
 	fx    IngressEffects
 	tr    Tracer
@@ -57,10 +62,40 @@ func NewIngress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Que
 		cam:     cam.New(cfg.MaxSAQs),
 		pool:    pool,
 		normals: normals,
-		saqs:    make(map[int]*SAQ),
-		byUID:   make(map[int]*SAQ),
+		saqs:    make([]*SAQ, cfg.MaxSAQs),
 		fx:      fx,
 	}
+}
+
+// takeSAQ recycles (or builds) a SAQ for CAM line id. The queue object
+// is reused across allocations: deallocation requires an idle queue, so
+// a recycled queue is always empty with no resident bytes.
+func (in *Ingress) takeSAQ(id int, path pkt.Path) *SAQ {
+	in.uidSeq++
+	var s *SAQ
+	if n := len(in.free); n > 0 {
+		s = in.free[n-1]
+		in.free[n-1] = nil
+		in.free = in.free[:n-1]
+		*s = SAQ{Q: s.Q}
+	} else {
+		s = &SAQ{Q: mempool.NewQueue(in.pool, 0)}
+	}
+	s.ID = id
+	s.UID = in.uidSeq
+	s.Path = path
+	return s
+}
+
+// saqByUID finds a live SAQ by its unique ID (nil when gone — stale
+// markers reference deallocated UIDs).
+func (in *Ingress) saqByUID(uid int) *SAQ {
+	for _, s := range in.saqs {
+		if s != nil && s.UID == uid {
+			return s
+		}
+	}
+	return nil
 }
 
 // Classify returns the SAQ an arriving packet must be stored in, or
@@ -98,17 +133,11 @@ func (in *Ingress) OnNotifyLocal(path pkt.Path) bool {
 		in.stats.Refusals++
 		return false
 	}
-	in.uidSeq++
-	s := &SAQ{
-		ID:    id,
-		UID:   in.uidSeq,
-		Path:  path,
-		Q:     mempool.NewQueue(in.pool, 0),
-		leaf:  true,
-		reArm: true,
-	}
+	s := in.takeSAQ(id, path)
+	s.leaf = true
+	s.reArm = true
 	in.saqs[id] = s
-	in.byUID[s.UID] = s
+	in.active++
 	if !in.cfg.NoInOrderMarkers {
 		// In-order markers: the normal queue, plus every SAQ with a
 		// proper prefix path (its packets may match the longer path).
@@ -196,7 +225,7 @@ func (in *Ingress) OnTokenFromUpstream(path pkt.Path, refused bool) {
 // queue. Stale markers are inert. Queues that only held markers may now
 // be idle, so deallocation is re-checked everywhere.
 func (in *Ingress) ResolveMarker(uid int) {
-	if s, ok := in.byUID[uid]; ok && s.markersPending > 0 {
+	if s := in.saqByUID(uid); s != nil && s.markersPending > 0 {
 		s.markersPending--
 	}
 	// CAM-line order, not map order: deallocations send tokens, and
@@ -259,14 +288,16 @@ func (in *Ingress) SweepIdle() {
 
 func (in *Ingress) dealloc(s *SAQ) {
 	in.cam.Free(s.ID)
-	delete(in.saqs, s.ID)
-	delete(in.byUID, s.UID)
+	in.saqs[s.ID] = nil
+	in.active--
 	in.stats.Deallocs++
 	in.stats.TokensSent++
 	if in.tr != nil {
 		in.tr.SAQDealloc(s.ID, s.UID, s.Path)
 	}
-	in.fx.TokenToEgress(int(s.Path.First()), s.Path.Rest())
+	egress, rest := int(s.Path.First()), s.Path.Rest()
+	in.free = append(in.free, s)
+	in.fx.TokenToEgress(egress, rest)
 }
 
 // AuditTokens is the watchdog hook for lost tokens and notifications
@@ -280,9 +311,8 @@ func (in *Ingress) dealloc(s *SAQ) {
 // determinism.
 func (in *Ingress) AuditTokens(limit int) int {
 	reclaimed := 0
-	for id := 0; id < in.cfg.MaxSAQs; id++ {
-		s, ok := in.saqs[id]
-		if !ok {
+	for _, s := range in.saqs {
+		if s == nil {
 			continue
 		}
 		if s.sentUpstream && s.Q.Idle() {
@@ -319,9 +349,8 @@ func (in *Ingress) forceReclaim(s *SAQ) {
 // Xoffs re-sent. Iterates in CAM line order for determinism.
 func (in *Ingress) ResendStops() int {
 	sent := 0
-	for id := 0; id < in.cfg.MaxSAQs; id++ {
-		s, ok := in.saqs[id]
-		if !ok {
+	for _, s := range in.saqs {
+		if s == nil {
 			continue
 		}
 		if s.xoffSent && s.Q.QueuedBytes() >= in.cfg.XoffBytes {
@@ -337,15 +366,20 @@ func (in *Ingress) ResendStops() int {
 func (in *Ingress) Port() int { return in.port }
 
 // ActiveSAQs returns the number of SAQs currently allocated.
-func (in *Ingress) ActiveSAQs() int { return len(in.saqs) }
+func (in *Ingress) ActiveSAQs() int { return in.active }
 
-// SAQByID returns a SAQ by CAM line ID.
-func (in *Ingress) SAQByID(id int) *SAQ { return in.saqs[id] }
+// SAQByID returns a SAQ by CAM line ID (nil when the line is free).
+func (in *Ingress) SAQByID(id int) *SAQ {
+	if id < 0 || id >= len(in.saqs) {
+		return nil
+	}
+	return in.saqs[id]
+}
 
 // ForEachSAQ iterates over allocated SAQs in CAM line order.
 func (in *Ingress) ForEachSAQ(fn func(s *SAQ)) {
-	for id := 0; id < in.cfg.MaxSAQs; id++ {
-		if s, ok := in.saqs[id]; ok {
+	for _, s := range in.saqs {
+		if s != nil {
 			fn(s)
 		}
 	}
@@ -355,5 +389,5 @@ func (in *Ingress) ForEachSAQ(fn func(s *SAQ)) {
 func (in *Ingress) Stats() Stats { return in.stats }
 
 func (in *Ingress) String() string {
-	return fmt.Sprintf("ingress{port %d, %d SAQs}", in.port, len(in.saqs))
+	return fmt.Sprintf("ingress{port %d, %d SAQs}", in.port, in.active)
 }

@@ -174,7 +174,7 @@ func TestPrefixMarkers(t *testing.T) {
 	short := in.SAQByID(0)
 	// Resolve the short SAQ's own marker.
 	e := normal.Pop()
-	in.ResolveMarker(e.Marker.SAQ)
+	in.ResolveMarker(e.MarkerSAQ())
 	if short.Blocked() {
 		t.Fatal("short SAQ still blocked")
 	}
@@ -192,7 +192,7 @@ func TestPrefixMarkers(t *testing.T) {
 	}
 	// Resolving only the normal-queue marker is not enough.
 	e = normal.Pop()
-	in.ResolveMarker(e.Marker.SAQ)
+	in.ResolveMarker(e.MarkerSAQ())
 	if !long.Blocked() {
 		t.Fatal("long SAQ unblocked with a prefix marker pending")
 	}
@@ -203,7 +203,7 @@ func TestPrefixMarkers(t *testing.T) {
 	if !e.IsMarker() {
 		t.Fatal("expected marker at short SAQ head")
 	}
-	in.ResolveMarker(e.Marker.SAQ)
+	in.ResolveMarker(e.MarkerSAQ())
 	if long.Blocked() {
 		t.Fatal("long SAQ still blocked after all markers resolved")
 	}

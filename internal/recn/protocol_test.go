@@ -101,22 +101,22 @@ func (h *protocolHarness) peel(in int) {
 	q := h.inNormal[in]
 	if e, ok := q.Head(); ok && e.IsMarker() {
 		q.Pop()
-		h.ins[in].ResolveMarker(e.Marker.SAQ)
+		h.ins[in].ResolveMarker(e.MarkerSAQ())
 	}
 	if e, ok := h.egNormal.Head(); ok && e.IsMarker() {
 		h.egNormal.Pop()
-		h.eg.ResolveMarker(e.Marker.SAQ)
+		h.eg.ResolveMarker(e.MarkerSAQ())
 	}
 	h.ins[in].ForEachSAQ(func(s *SAQ) {
 		if e, ok := s.Q.Head(); ok && e.IsMarker() {
 			s.Q.Pop()
-			h.ins[in].ResolveMarker(e.Marker.SAQ)
+			h.ins[in].ResolveMarker(e.MarkerSAQ())
 		}
 	})
 	h.eg.ForEachSAQ(func(s *SAQ) {
 		if e, ok := s.Q.Head(); ok && e.IsMarker() {
 			s.Q.Pop()
-			h.eg.ResolveMarker(e.Marker.SAQ)
+			h.eg.ResolveMarker(e.MarkerSAQ())
 		}
 	})
 }

@@ -177,11 +177,13 @@ type SAQ struct {
 	// falls below the threshold again, avoiding notify/refuse storms.
 	reArm bool
 
-	// branchOut (egress only): local ingress ports holding a token of
-	// this subtree. notified dedups recruiting (it includes refused
-	// inputs, which hold no token).
-	branchOut map[int]bool
-	notified  map[int]bool
+	// branchOut (egress only): bitmask of local ingress ports holding a
+	// token of this subtree. notified dedups recruiting (it includes
+	// refused inputs, which hold no token). Bitmasks bound the switch
+	// radix at 64 ports — far above the paper's 8-port switches — and
+	// make per-notification bookkeeping allocation-free.
+	branchOut uint64
+	notified  uint64
 
 	// used: the SAQ has held at least one packet. Deallocation waits
 	// for this (the paper deallocates when the SAQ "becomes empty");
@@ -201,6 +203,14 @@ type SAQ struct {
 	// gateInternal (egress): occupancy-based stop signal toward the
 	// ingress SAQs of the same switch.
 	gateInternal bool
+}
+
+// portBit returns the bitmask bit for a switch port index.
+func portBit(port int) uint64 {
+	if port < 0 || port >= 64 {
+		panic(fmt.Sprintf("recn: port %d outside the 64-port bitmask range", port))
+	}
+	return 1 << uint(port)
 }
 
 // Leaf reports whether the SAQ currently owns a token.

@@ -201,7 +201,7 @@ func TestMarkerResolution(t *testing.T) {
 		t.Fatalf("head = %+v, want marker", head)
 	}
 	normal.Pop()
-	in.ResolveMarker(head.Marker.SAQ)
+	in.ResolveMarker(head.MarkerSAQ())
 	if s.Blocked() {
 		t.Fatal("SAQ still blocked after marker resolution")
 	}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"strconv"
@@ -73,30 +72,33 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Nanos returns the time converted to nanoseconds as a float.
 func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
 
-type event struct {
+// evNode is one entry of the event priority queue. It holds only the
+// ordering key (at, seq) plus an index into the pooled callback records,
+// so the heap slice is small (24 bytes/node), pointer-free (the GC never
+// scans it) and cheap to sift. seq values are unique, so (at, seq) is a
+// total order and any correct heap pops events in the same sequence —
+// the dispatch order is independent of the heap implementation.
+type evNode struct {
 	at  Time
 	seq uint64
-	fn  func()
+	rec int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func evLess(a, b evNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1].fn = nil
-	*h = old[:n-1]
-	return e
+
+// evRec is a pooled callback record. Exactly one of fn / afn is set:
+// Schedule stores a plain func(), ScheduleArg stores a pre-bound
+// callback plus its argument (a pointer stored in an any does not
+// allocate, so call sites can pass event state without a closure).
+type evRec struct {
+	fn  func()
+	afn func(any)
+	arg any
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -104,16 +106,34 @@ func (h *eventHeap) Pop() interface{} {
 // The zero value is ready to use. Engine is not safe for concurrent use;
 // the whole simulation runs on one goroutine (the model is intentionally
 // sequential so that results are reproducible).
+//
+// The event queue is an implicit 4-ary min-heap over (time, sequence)
+// keys; callbacks live in a free-listed record pool, so steady-state
+// scheduling performs no heap allocations (the old container/heap
+// implementation boxed every event into an interface{} on push).
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []evNode
+	recs    []evRec
+	free    []int32 // free-list of recs indices
 	stopped bool
+
+	// probe, when set, observes every dispatch as (time, scheduling
+	// sequence) before the callback runs. Test-only: the determinism
+	// regression suite uses it to pin the dispatch order.
+	probe func(at Time, seq uint64)
 
 	// Executed counts events dispatched since construction; useful for
 	// progress reporting and performance accounting.
 	Executed uint64
 }
+
+// SetDispatchProbe installs a hook observing every dispatched event as
+// its (time, scheduling-sequence) pair, called just before the event's
+// callback. Passing nil removes the hook. Intended for determinism
+// regression tests; the hook must not schedule events itself.
+func (e *Engine) SetDispatchProbe(fn func(at Time, seq uint64)) { e.probe = fn }
 
 // NewEngine returns an engine with its clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -127,17 +147,103 @@ func (e *Engine) Now() Time { return e.now }
 // sequence). Tracing uses it so exports never depend on wall clock.
 func (e *Engine) Stamp() (Time, uint64) { return e.now, e.Executed }
 
+// allocRec takes a callback record from the free-list (or grows the
+// pool) and returns its index.
+func (e *Engine) allocRec() int32 {
+	if n := len(e.free); n > 0 {
+		r := e.free[n-1]
+		e.free = e.free[:n-1]
+		return r
+	}
+	e.recs = append(e.recs, evRec{})
+	return int32(len(e.recs) - 1)
+}
+
+// push inserts a node into the 4-ary heap (sift-up by hole movement).
+func (e *Engine) push(n evNode) {
+	h := append(e.events, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(n, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+	e.events = h
+}
+
+// pop removes and returns the minimum node.
+func (e *Engine) pop() evNode {
+	h := e.events
+	root := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	e.events = h
+	if n := len(h); n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if evLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !evLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
+}
+
+// schedule enqueues an already-populated record at (at, next seq).
+func (e *Engine) schedule(at Time, rec int32) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (now=%v, at=%v)", e.now, at))
+	}
+	e.seq++
+	e.push(evNode{at: at, seq: e.seq, rec: rec})
+}
+
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // it always indicates a model bug (causality violation).
 func (e *Engine) Schedule(at Time, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule called with nil fn")
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past (now=%v, at=%v)", e.now, at))
+	r := e.allocRec()
+	e.recs[r].fn = fn
+	e.schedule(at, r)
+}
+
+// ScheduleArg runs fn(arg) at absolute time at. It is the pre-bound
+// form of Schedule for hot call sites: fn is typically a func stored
+// once per object and arg a pointer to the event's state, so scheduling
+// allocates nothing (closure captures are what made Schedule call sites
+// allocate). Ordering is identical to Schedule — both draw from the
+// same sequence counter.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil fn")
 	}
-	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	r := e.allocRec()
+	e.recs[r].afn = fn
+	e.recs[r].arg = arg
+	e.schedule(at, r)
 }
 
 // After runs fn after delay d from the current time.
@@ -148,11 +254,41 @@ func (e *Engine) After(d Time, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+// AfterArg runs fn(arg) after delay d from the current time.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.ScheduleArg(e.now+d, fn, arg)
+}
+
 // Stop makes Run return after the currently dispatching event.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of events still queued.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// dispatch pops the minimum event, releases its record back to the
+// free-list, and invokes the callback. The callback fields are copied
+// out before the record is freed, so callbacks may immediately reuse
+// the slot by scheduling new events.
+func (e *Engine) dispatch() {
+	ev := e.pop()
+	r := &e.recs[ev.rec]
+	fn, afn, arg := r.fn, r.afn, r.arg
+	r.fn, r.afn, r.arg = nil, nil, nil
+	e.free = append(e.free, ev.rec)
+	e.now = ev.at
+	e.Executed++
+	if e.probe != nil {
+		e.probe(ev.at, ev.seq)
+	}
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
 
 // Run dispatches events in time order until the queue is empty, the
 // clock would pass until, or Stop is called. Events scheduled exactly at
@@ -164,10 +300,7 @@ func (e *Engine) Run(until Time) uint64 {
 		if e.events[0].at > until {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		e.Executed++
-		ev.fn()
+		e.dispatch()
 	}
 	// Advance the clock to the horizon so a subsequent Run continues
 	// from there even if the queue drained early.
@@ -183,10 +316,7 @@ func (e *Engine) Drain() uint64 {
 	start := e.Executed
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		e.Executed++
-		ev.fn()
+		e.dispatch()
 	}
 	return e.Executed - start
 }

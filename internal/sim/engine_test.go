@@ -298,3 +298,168 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 	e.Drain()
 }
+
+// Run's horizon must advance the clock even when the queue drains
+// before reaching it, so relative delays in a later Run are anchored at
+// the horizon, not at the last dispatched event.
+func TestRunHorizonAdvanceAfterEarlyDrain(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	if n := e.Run(1000); n != 1 {
+		t.Fatalf("Run dispatched %d, want 1", n)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %v after early drain, want horizon 1000", e.Now())
+	}
+	// A relative delay is now anchored at the horizon.
+	var at Time
+	e.After(5, func() { at = e.Now() })
+	e.Drain()
+	if at != 1005 {
+		t.Fatalf("After(5) fired at %v, want 1005", at)
+	}
+}
+
+// Stop must suppress the horizon advance: the clock stays at the event
+// that stopped the run, and a later Run resumes from there.
+func TestStopFreezesClockAndResumes(t *testing.T) {
+	e := NewEngine()
+	order := []Time{}
+	e.Schedule(10, func() { order = append(order, e.Now()); e.Stop() })
+	e.Schedule(20, func() { order = append(order, e.Now()) })
+	if n := e.Run(1000); n != 1 {
+		t.Fatalf("first Run dispatched %d, want 1", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v after Stop, want 10 (no horizon advance)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Re-Run resumes dispatching and then advances to the new horizon.
+	if n := e.Run(1000); n != 1 {
+		t.Fatalf("second Run dispatched %d, want 1", n)
+	}
+	if len(order) != 2 || order[0] != 10 || order[1] != 20 {
+		t.Fatalf("dispatch order %v, want [10 20]", order)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %v after resume, want 1000", e.Now())
+	}
+}
+
+// Stop from inside a dispatched event must also halt Drain, and a
+// subsequent Drain clears its sticky effect.
+func TestStopDuringDrain(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++; e.Stop() })
+	e.Schedule(20, func() { fired++ })
+	if n := e.Drain(); n != 1 || fired != 1 {
+		t.Fatalf("Drain dispatched %d (fired=%d), want 1", n, fired)
+	}
+	if n := e.Drain(); n != 1 || fired != 2 {
+		t.Fatalf("second Drain dispatched %d (fired=%d), want 1", n, fired)
+	}
+}
+
+// Events at the same instant fire in scheduling order regardless of
+// which entry point (Schedule, After, ScheduleArg, AfterArg) enqueued
+// them: all four draw from the same sequence counter.
+func TestSameInstantFIFOAcrossEntryPoints(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	note := func(arg any) { order = append(order, arg.(int)) }
+	e.Schedule(50, func() { order = append(order, 0) })
+	e.ScheduleArg(50, note, 1)
+	e.After(50, func() { order = append(order, 2) })
+	e.AfterArg(50, note, 3)
+	e.ScheduleArg(50, note, 4)
+	e.Schedule(50, func() { order = append(order, 5) })
+	e.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("dispatch order %v, want [0 1 2 3 4 5]", order)
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("dispatched %d events, want 6", len(order))
+	}
+}
+
+// ScheduleArg delivers the exact argument value, including nil-valued
+// pointers inside the any.
+func TestScheduleArgDeliversArg(t *testing.T) {
+	e := NewEngine()
+	type state struct{ hits int }
+	s := &state{}
+	bump := func(arg any) { arg.(*state).hits++ }
+	e.ScheduleArg(1, bump, s)
+	e.AfterArg(2, bump, s)
+	e.Drain()
+	if s.hits != 2 {
+		t.Fatalf("hits = %d, want 2", s.hits)
+	}
+}
+
+func TestScheduleArgNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	NewEngine().ScheduleArg(0, nil, 1)
+}
+
+func TestNegativeAfterArgPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewEngine().AfterArg(-1, func(any) {}, nil)
+}
+
+// Records freed by dispatch are reused by events scheduled from inside
+// the running callback; interleaving nested scheduling with pool reuse
+// must preserve time-then-FIFO order.
+func TestRecordReuseKeepsOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	var chain func()
+	depth := 0
+	chain = func() {
+		order = append(order, e.Now())
+		if depth++; depth < 100 {
+			e.After(Time(depth%3), chain) // mixes same-instant and future
+		}
+	}
+	e.Schedule(0, chain)
+	e.Drain()
+	if len(order) != 100 {
+		t.Fatalf("dispatched %d, want 100", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("time went backwards at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+// BenchmarkEngineScheduleArgRun is the boxing-free variant of the
+// schedule/run microbenchmark: the callback is a package-level func
+// value and the argument a reused pointer, so an iteration performs
+// zero allocations.
+func BenchmarkEngineScheduleArgRun(b *testing.B) {
+	e := NewEngine()
+	noop := func(any) {}
+	arg := new(int)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(e.Now()+Time(i%97), noop, arg)
+		if i%64 == 63 {
+			e.Run(e.Now() + 100)
+		}
+	}
+	e.Drain()
+}
