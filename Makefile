@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Seeded randomized compound fault plans (drops + flaps + corruption +
+# delays) under the full runtime invariant checker and the race
+# detector. A failing seed is minimized to the smallest still-failing
+# fragment set; reproduce any report with `recnsim -faults "<spec>" -check`.
+chaos-soak:
+	$(GO) test -race -v -run TestChaosSoak -chaos.seeds 16 ./internal/check/chaos/
+
+# The nightly-sized sweep (CI runs this on schedule/manual dispatch).
+chaos-soak-long:
+	$(GO) test -race -timeout 60m -v -run TestChaosSoak -chaos.seeds 250 ./internal/check/chaos/
+
+# Assert the checks-disabled Fig 2a rate stays within noise of the
+# recorded baseline (the checker's nil-hook path must cost nothing).
+bench-guard:
+	BENCH_BASELINE=BENCH_PR5.json $(GO) test -run TestBenchGuard -v .

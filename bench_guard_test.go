@@ -1,0 +1,60 @@
+package repro
+
+// Benchmark regression guard: re-runs the Fig 2a baseline benchmark
+// (checks disabled — the checker must stay zero-overhead when off) and
+// compares its event rate against a recorded baseline file.
+//
+// Usage:
+//
+//	BENCH_BASELINE=BENCH_PR5.json go test -run TestBenchGuard .
+//
+// BENCH_RATIO overrides the minimum acceptable current/baseline rate
+// (default 0.95, i.e. within 5% noise of the baseline; the committed
+// BENCH_PR5.json predates the zero-allocation scheduler rewrite, so
+// current rates clear it with a wide margin). Without BENCH_BASELINE
+// the test skips.
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+)
+
+func TestBenchGuard(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("set BENCH_BASELINE=<baseline.json> to gate against recorded benchmark numbers")
+	}
+	ratio := 0.95
+	if s := os.Getenv("BENCH_RATIO"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("BENCH_RATIO %q: want a positive float", s)
+		}
+		ratio = v
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("baseline %s: %v", path, err)
+	}
+	if base.Fig2.EventsPerSec <= 0 {
+		t.Fatalf("baseline %s has no fig2 event rate", path)
+	}
+	if base.Scale != benchBaselineScale {
+		t.Fatalf("baseline scale %.3f != current %.3f: rates are not comparable", base.Scale, benchBaselineScale)
+	}
+	res := testing.Benchmark(benchmarkFig2Baseline)
+	got := res.Extra["events/s"]
+	floor := ratio * base.Fig2.EventsPerSec
+	t.Logf("fig2 events/s: current %.0f, baseline %.0f (%s), floor %.0f (ratio %.2f)",
+		got, base.Fig2.EventsPerSec, path, floor, ratio)
+	if got < floor {
+		t.Fatalf("checks-disabled Fig 2a rate %.0f events/s fell below %.0f (%.2f × baseline %.0f from %s)",
+			got, floor, ratio, base.Fig2.EventsPerSec, path)
+	}
+}

@@ -44,6 +44,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or csv")
 		policies = flag.String("policies", "", "comma-separated mechanisms to run where the figure allows it, e.g. 'RECN,VOQnet' (default per figure)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'seed=1,drop=token:2,droprate=credit:0.01,flap=0:4:100us:140us' (recovery watchdogs enabled; accounting printed in table notes)")
+		chk      = flag.Bool("check", false, "enable the runtime invariant checker on every run (packet/credit conservation, SAQ lifecycle, deadlock/livelock); a violation aborts with a diagnostics snapshot")
 
 		traceOut    = flag.String("trace", "", "write the figure's flight recording as Chrome trace_event JSON (open in Perfetto)")
 		traceLog    = flag.String("trace-log", "", "write the flight recording as a plain-text event log")
@@ -76,6 +77,7 @@ func main() {
 		MaxRows:     *rows,
 		FaultSpec:   *faults,
 		Parallelism: *j,
+		Check:       *chk,
 	}
 	// Validate mechanism names up front, before any (possibly long)
 	// simulation starts.

@@ -39,6 +39,7 @@ func main() {
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (≥ 1)")
 		cache   = flag.String("cache", "", "run-result cache directory (created if missing)")
 		noCache = flag.Bool("no-cache", false, "bypass the run-result cache")
+		chk     = flag.Bool("check", false, "enable the runtime invariant checker on every run (checked runs bypass the cache)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
@@ -60,7 +61,7 @@ func main() {
 			os.Exit(1)
 		}
 	}()
-	o := repro.Options{Scale: *scale, Parallelism: *j, CacheDir: *cache, NoCache: *noCache}
+	o := repro.Options{Scale: *scale, Parallelism: *j, CacheDir: *cache, NoCache: *noCache, Check: *chk}
 
 	var id string
 	switch *sweep {

@@ -30,6 +30,7 @@ func main() {
 		replay   = flag.String("replay", "", "replay a trace file through the simulator")
 		cf       = flag.Float64("cf", 20, "time compression factor for -replay")
 		policy   = flag.String("policy", "RECN", "queuing mechanism for -replay")
+		chk      = flag.Bool("check", false, "run the replay under the runtime invariant checker and verify the end-of-run accounting")
 	)
 	flag.Parse()
 
@@ -51,10 +52,14 @@ func main() {
 		pol, err := repro.ParsePolicy(*policy)
 		check(err)
 		tr := load(*replay)
-		net, err := repro.NewNetwork(*hosts, pol)
+		net, err := newReplayNet(*hosts, pol, *chk)
 		check(err)
 		check(repro.ReplayTrace(net, tr, *cf))
 		net.Engine.Drain()
+		if *chk {
+			check(net.FinalCheck())
+			fmt.Println("invariant checks passed")
+		}
 		fmt.Printf("policy %s, compression %.0f:\n", pol, *cf)
 		fmt.Printf("  delivered %d packets (%d bytes) in %v simulated\n",
 			net.DeliveredPackets, net.DeliveredBytes, net.Engine.Now())
@@ -68,6 +73,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// newReplayNet builds the replay network, optionally under the
+// invariant checker (a violation mid-replay panics with the
+// diagnostics snapshot; FinalCheck covers the end-of-run accounting).
+func newReplayNet(hosts int, pol repro.Policy, chk bool) (*repro.Network, error) {
+	topo, err := repro.NewTopology(hosts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := repro.DefaultConfig(topo)
+	cfg.Policy = pol
+	if chk {
+		cfg.Checker = repro.NewChecker(repro.CheckConfig{})
+	}
+	return repro.NewNetworkConfig(cfg)
 }
 
 func load(path string) repro.Trace {

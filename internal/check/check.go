@@ -1,0 +1,278 @@
+// Package check is the simulator's runtime invariant checker: a
+// pluggable subsystem that audits the conservation laws a lossless
+// fabric must obey — packet conservation (every injected packet is
+// delivered or still in flight), flow-control conservation (credit
+// counters stay within the windows that protect receiver RAM, Xoff'd
+// SAQs never transmit), CAM/SAQ lifecycle (allocations and releases in
+// lockstep with congestion-tree birth and death), and progress (no
+// deadlock, no livelock).
+//
+// The design contract mirrors internal/trace: with no Checker attached
+// the fabric's hot paths pay a single nil comparison per hook point and
+// nothing here runs. With one attached, periodic audit events walk the
+// network state; audits are pure observers — they never mutate fabric
+// state, so enabling checks cannot change simulation results.
+//
+// On violation the checker does not die in a bare panic: it builds a
+// structured *Violation carrying the rule, the deterministic
+// (time, dispatch-seq) stamp, the offending location, a state snapshot
+// and the tail of the flight-recorder ring when tracing is on — enough
+// to debug a failure from a CI log. By default a violation panics with
+// the *Violation value (run boundaries recover it into an error);
+// Config.Collect records violations instead, for soak tests that want
+// to keep going.
+package check
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Rule identifies the invariant a violation broke.
+type Rule uint8
+
+const (
+	// RulePacketConservation: the per-stage census (host backlog +
+	// queued + crossbar + link flight) must equal injected − delivered.
+	RulePacketConservation Rule = iota
+	// RuleCreditBounds: a credit counter left [0, initial] — a forged
+	// credit would overflow the receiver RAM the counters protect.
+	RuleCreditBounds
+	// RuleXoffTransmit: a SAQ transmitted while stopped (remote Xoff or
+	// in-order block) — per-SAQ flow control was bypassed.
+	RuleXoffTransmit
+	// RuleSAQLifecycle: controller accounting diverged — allocations
+	// minus deallocations must equal live SAQs must equal used CAM
+	// lines.
+	RuleSAQLifecycle
+	// RuleDeadlock: the event queue drained with packets still pending.
+	RuleDeadlock
+	// RuleLivelock: simulation time keeps advancing with packets
+	// pending but nothing has been delivered for a full window.
+	RuleLivelock
+	// RuleRouting: a packet's route addressed a port that does not
+	// exist (hot-path invariant, formerly a bare panic).
+	RuleRouting
+	// RuleQuiesce: end-of-run accounting did not balance (RAM, SAQs,
+	// roots, credits or host backlog left over).
+	RuleQuiesce
+	// RuleInternal: an impossible state was reached (defensive checks
+	// that validation should have made unreachable).
+	RuleInternal
+
+	numRules
+)
+
+var ruleNames = [numRules]string{
+	"packet-conservation", "credit-bounds", "xoff-transmit", "saq-lifecycle",
+	"deadlock", "livelock", "routing", "quiesce", "internal",
+}
+
+func (r Rule) String() string {
+	if int(r) < len(ruleNames) {
+		return ruleNames[r]
+	}
+	return fmt.Sprintf("rule(%d)", int(r))
+}
+
+// Violation is one detected invariant breach. It implements error; the
+// Snapshot carries the diagnostics captured at detection time.
+type Violation struct {
+	Rule Rule
+	// At and Exec are the engine's deterministic (time, dispatch-seq)
+	// stamp at detection (zero when no checker was bound).
+	At   sim.Time
+	Exec uint64
+	// Loc is the offending port (trace.NetLoc for network-wide rules).
+	Loc trace.Loc
+	// Msg states what did not balance, with the numbers.
+	Msg string
+	// Snapshot is the multi-line diagnostics block: offending
+	// port/switch/SAQ state and the last N flight-recorder events.
+	Snapshot string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s at %v (dispatch %d) %s: %s", v.Rule, v.At, v.Exec, v.Loc, v.Msg)
+}
+
+// Detail renders the violation with its full snapshot, for logs.
+func (v *Violation) Detail() string {
+	if v.Snapshot == "" {
+		return v.Error()
+	}
+	return v.Error() + "\n" + v.Snapshot
+}
+
+// NewViolation builds an unstamped violation (no checker bound): the
+// typed replacement for a bare panic at hot-path invariant sites.
+func NewViolation(rule Rule, loc trace.Loc, msg string) *Violation {
+	return &Violation{Rule: rule, Loc: loc, Msg: msg}
+}
+
+// Config configures a Checker. The zero value audits every 10 µs of
+// simulated time, keeps 32 trace events per snapshot, declares livelock
+// after 1 ms without a delivery, and panics on violation.
+type Config struct {
+	// Period is the audit cadence in simulated time (default 10 µs).
+	Period sim.Time
+	// TraceTail is how many flight-recorder events a snapshot includes
+	// when a recorder is attached (default 32).
+	TraceTail int
+	// LivelockWindow is the no-delivery window with packets in flight
+	// that counts as livelock (default 1 ms). It must comfortably
+	// exceed the recovery layer's StallTimeout: the watchdog repairs,
+	// the checker only declares failure when repair did not help.
+	LivelockWindow sim.Time
+	// Collect records violations (capped) instead of panicking,
+	// letting soak runs keep going and report everything at the end.
+	// Hot-path fatal sites (routing) still panic: past them the
+	// simulation state is corrupt.
+	Collect bool
+}
+
+const (
+	defaultPeriod         = 10 * sim.Microsecond
+	defaultTraceTail      = 32
+	defaultLivelockWindow = sim.Millisecond
+	maxCollected          = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.Period <= 0 {
+		c.Period = defaultPeriod
+	}
+	if c.TraceTail <= 0 {
+		c.TraceTail = defaultTraceTail
+	}
+	if c.LivelockWindow <= 0 {
+		c.LivelockWindow = defaultLivelockWindow
+	}
+	return c
+}
+
+// Checker is a bound invariant checker. Create one with New, pass it to
+// the fabric (fabric.Config.Checker), and read Violations/Err after the
+// run. Checkers are single-use: they bind to exactly one engine.
+type Checker struct {
+	cfg Config
+
+	eng  *sim.Engine
+	rec  *trace.Recorder
+	snap func(io.Writer)
+
+	violations []*Violation
+	// DroppedViolations counts violations past the Collect cap (their
+	// snapshots are not retained).
+	DroppedViolations uint64
+	// Audits counts completed audit passes (test hook: proves the
+	// checker actually ran).
+	Audits uint64
+}
+
+// New builds a checker from a config (see Config for defaults).
+func New(cfg Config) *Checker {
+	return &Checker{cfg: cfg.withDefaults()}
+}
+
+// Bind attaches the checker to the engine whose clock stamps every
+// violation, plus an optional flight recorder (snapshots then include
+// the last TraceTail events) and an optional state-snapshot writer
+// (installed by the fabric). Checkers are single-use; binding twice is
+// an error (mirroring fault.Plan and trace.Recorder).
+func (c *Checker) Bind(eng *sim.Engine, rec *trace.Recorder, snap func(io.Writer)) error {
+	if c.eng != nil {
+		return fmt.Errorf("check: checker already bound (checkers are single-use; create one per network)")
+	}
+	if eng == nil {
+		return fmt.Errorf("check: Bind with nil engine")
+	}
+	c.eng = eng
+	c.rec = rec
+	c.snap = snap
+	return nil
+}
+
+// Period returns the audit cadence.
+func (c *Checker) Period() sim.Time { return c.cfg.Period }
+
+// LivelockWindow returns the configured no-delivery window.
+func (c *Checker) LivelockWindow() sim.Time { return c.cfg.LivelockWindow }
+
+// Collecting reports whether violations are recorded instead of
+// panicking.
+func (c *Checker) Collecting() bool { return c.cfg.Collect }
+
+// Violations returns the recorded violations (Collect mode, plus any
+// built by Violationf before a panic unwound).
+func (c *Checker) Violations() []*Violation { return c.violations }
+
+// Err returns the first recorded violation, or nil.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return c.violations[0]
+}
+
+// CountAudit records one completed audit pass.
+func (c *Checker) CountAudit() { c.Audits++ }
+
+// Violationf builds a stamped violation with a full diagnostics
+// snapshot, records it, and returns it without panicking (run
+// boundaries use it for end-of-run checks that report via error).
+func (c *Checker) Violationf(rule Rule, loc trace.Loc, format string, args ...any) *Violation {
+	v := &Violation{Rule: rule, Loc: loc, Msg: fmt.Sprintf(format, args...)}
+	if c.eng != nil {
+		v.At, v.Exec = c.eng.Stamp()
+	}
+	if len(c.violations) < maxCollected {
+		v.Snapshot = c.buildSnapshot()
+		c.violations = append(c.violations, v)
+	} else {
+		c.DroppedViolations++
+	}
+	return v
+}
+
+// Failf reports an audit violation: in Collect mode it records and
+// returns, otherwise it panics with the *Violation (recover it at the
+// run boundary).
+func (c *Checker) Failf(rule Rule, loc trace.Loc, format string, args ...any) {
+	v := c.Violationf(rule, loc, format, args...)
+	if !c.cfg.Collect {
+		panic(v)
+	}
+}
+
+// Fatalf reports a hot-path invariant violation and always panics:
+// past the violating instruction the simulation state is corrupt, so
+// even soak runs must stop this run.
+func (c *Checker) Fatalf(rule Rule, loc trace.Loc, format string, args ...any) {
+	panic(c.Violationf(rule, loc, format, args...))
+}
+
+// buildSnapshot captures the diagnostics block: the fabric state dump
+// followed by the tail of the flight-recorder ring.
+func (c *Checker) buildSnapshot() string {
+	var sb strings.Builder
+	if c.snap != nil {
+		sb.WriteString("--- state ---\n")
+		c.snap(&sb)
+	}
+	if c.rec != nil {
+		evs := c.rec.Events()
+		if tail := c.cfg.TraceTail; len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		fmt.Fprintf(&sb, "--- last %d trace events ---\n", len(evs))
+		for _, e := range evs {
+			fmt.Fprintf(&sb, "%12v #%-8d %-11s %-10s %s\n", e.At, e.Exec, e.Kind, e.Loc, e.Detail())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,240 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{
+		Rule: RuleCreditBounds,
+		At:   3 * sim.Microsecond,
+		Exec: 42,
+		Loc:  trace.Loc{Node: 5, Port: 2, Dir: trace.DirOut},
+		Msg:  "portCredits 9 > init 8",
+	}
+	s := v.Error()
+	for _, want := range []string{"credit-bounds", "dispatch 42", "portCredits 9 > init 8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+	if v.Detail() != s {
+		t.Errorf("Detail without snapshot should equal Error")
+	}
+	v.Snapshot = "--- state ---\nx"
+	if d := v.Detail(); !strings.Contains(d, "--- state ---") {
+		t.Errorf("Detail() = %q, missing snapshot", d)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	seen := map[string]bool{}
+	for r := Rule(0); r < numRules; r++ {
+		s := r.String()
+		if s == "" || strings.HasPrefix(s, "rule(") {
+			t.Errorf("rule %d has no name", r)
+		}
+		if seen[s] {
+			t.Errorf("duplicate rule name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Rule(200).String(); got != "rule(200)" {
+		t.Errorf("out-of-range rule String = %q", got)
+	}
+}
+
+func TestCheckerBindSingleUse(t *testing.T) {
+	c := New(Config{})
+	eng := sim.NewEngine()
+	if err := c.Bind(eng, nil, nil); err != nil {
+		t.Fatalf("first Bind: %v", err)
+	}
+	if err := c.Bind(eng, nil, nil); err == nil {
+		t.Fatalf("second Bind should fail")
+	}
+	if err := New(Config{}).Bind(nil, nil, nil); err == nil {
+		t.Fatalf("Bind(nil engine) should fail")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.Period() != defaultPeriod {
+		t.Errorf("Period = %v, want %v", c.Period(), defaultPeriod)
+	}
+	if c.LivelockWindow() != defaultLivelockWindow {
+		t.Errorf("LivelockWindow = %v, want %v", c.LivelockWindow(), defaultLivelockWindow)
+	}
+	if c.Collecting() {
+		t.Errorf("zero config should panic on violation, not collect")
+	}
+}
+
+func TestFailfCollects(t *testing.T) {
+	c := New(Config{Collect: true})
+	eng := sim.NewEngine()
+	var snapped bool
+	if err := c.Bind(eng, nil, func(w io.Writer) { snapped = true; fmt.Fprintln(w, "pending=7") }); err != nil {
+		t.Fatal(err)
+	}
+	eng.After(5*sim.Microsecond, func() {
+		c.Failf(RulePacketConservation, trace.NetLoc, "census %d != pending %d", 6, 7)
+	})
+	eng.Drain()
+	if err := c.Err(); err == nil {
+		t.Fatalf("expected recorded violation")
+	}
+	v := c.Violations()[0]
+	if v.Rule != RulePacketConservation {
+		t.Errorf("Rule = %v", v.Rule)
+	}
+	if v.At != 5*sim.Microsecond {
+		t.Errorf("At = %v, want 5µs", v.At)
+	}
+	if !snapped || !strings.Contains(v.Snapshot, "pending=7") {
+		t.Errorf("snapshot not captured: %q", v.Snapshot)
+	}
+}
+
+func TestFailfPanicsWhenNotCollecting(t *testing.T) {
+	c := New(Config{})
+	if err := c.Bind(sim.NewEngine(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("recovered %T, want *Violation", r)
+		}
+		if v.Rule != RuleSAQLifecycle {
+			t.Errorf("Rule = %v", v.Rule)
+		}
+	}()
+	c.Failf(RuleSAQLifecycle, trace.NetLoc, "leak")
+}
+
+func TestFatalfPanicsEvenWhenCollecting(t *testing.T) {
+	c := New(Config{Collect: true})
+	defer func() {
+		if _, ok := recover().(*Violation); !ok {
+			t.Fatalf("Fatalf must panic even in Collect mode")
+		}
+		// The violation is also recorded for post-mortem reads.
+		if c.Err() == nil {
+			t.Errorf("Fatalf should record the violation too")
+		}
+	}()
+	c.Fatalf(RuleRouting, trace.Loc{Node: 1}, "route uses unused port")
+}
+
+func TestCollectCap(t *testing.T) {
+	c := New(Config{Collect: true})
+	for i := 0; i < maxCollected+10; i++ {
+		c.Failf(RuleCreditBounds, trace.NetLoc, "v%d", i)
+	}
+	if len(c.Violations()) != maxCollected {
+		t.Errorf("retained %d violations, want cap %d", len(c.Violations()), maxCollected)
+	}
+	if c.DroppedViolations != 10 {
+		t.Errorf("DroppedViolations = %d, want 10", c.DroppedViolations)
+	}
+}
+
+func TestSnapshotIncludesTraceTail(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := trace.New(trace.Config{BufferEvents: 16, Events: trace.AllEvents})
+	if err := rec.Bind(eng, nil); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Collect: true, TraceTail: 4})
+	if err := c.Bind(eng, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		rec.Record(trace.EvSend, trace.Loc{Node: 1, Port: int32(i)}, "", int64(i), 0, 0)
+	}
+	c.Failf(RuleLivelock, trace.NetLoc, "no deliveries")
+	snap := c.Violations()[0].Snapshot
+	if !strings.Contains(snap, "last 4 trace events") {
+		t.Fatalf("snapshot missing trace tail header:\n%s", snap)
+	}
+	if strings.Count(snap, trace.EvSend.String()) != 4 {
+		t.Errorf("want exactly the last 4 events in snapshot:\n%s", snap)
+	}
+}
+
+func TestWaitGraphAcyclic(t *testing.T) {
+	g := NewWaitGraph()
+	g.Edge("a", "b")
+	g.Edge("b", "c")
+	g.Edge("a", "c")
+	if cyc := g.FindCycle(); cyc != nil {
+		t.Fatalf("acyclic graph reported cycle %v", cyc)
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestWaitGraphCycle(t *testing.T) {
+	g := NewWaitGraph()
+	g.Edge("sw0.out2", "sw1.in0")
+	g.Edge("sw1.in0", "sw1.out3")
+	g.Edge("sw1.out3", "sw0.in1")
+	g.Edge("sw0.in1", "sw0.out2")
+	g.Edge("sw0.out2", "host5") // dead end, not part of the cycle
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatalf("cycle not found")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Errorf("cycle should close on itself: %v", cyc)
+	}
+	if len(cyc) != 5 {
+		t.Errorf("cycle %v, want the 4-node loop", cyc)
+	}
+	if s := CycleString(cyc); !strings.Contains(s, " -> ") {
+		t.Errorf("CycleString = %q", s)
+	}
+	if CycleString(nil) != "" {
+		t.Errorf("CycleString(nil) should be empty")
+	}
+}
+
+func TestWaitGraphSelfLoop(t *testing.T) {
+	g := NewWaitGraph()
+	g.Edge("x", "x")
+	cyc := g.FindCycle()
+	if len(cyc) != 2 || cyc[0] != "x" || cyc[1] != "x" {
+		t.Fatalf("self-loop cycle = %v", cyc)
+	}
+}
+
+// TestWaitGraphDeterministic: same edges, same reported cycle.
+func TestWaitGraphDeterministic(t *testing.T) {
+	build := func() *WaitGraph {
+		g := NewWaitGraph()
+		for i := 0; i < 20; i++ {
+			g.Edge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", (i+1)%20))
+			g.Edge(fmt.Sprintf("n%d", i), fmt.Sprintf("m%d", i))
+		}
+		return g
+	}
+	a := CycleString(build().FindCycle())
+	for i := 0; i < 5; i++ {
+		if b := CycleString(build().FindCycle()); b != a {
+			t.Fatalf("nondeterministic cycle: %q vs %q", a, b)
+		}
+	}
+	if a == "" {
+		t.Fatalf("expected a cycle")
+	}
+}

@@ -1,0 +1,107 @@
+package check
+
+import "strings"
+
+// WaitGraph is a deterministic wait-for graph used by the deadlock
+// detector: nodes are resources (ports, queues, SAQs — any string the
+// fabric chooses), an edge A→B means "A cannot make progress until B
+// does" (a blocked queue waits on the credit/Xon of its downstream
+// port, a gated SAQ waits on its token, …). Nodes are interned in
+// insertion order and edges kept in insertion order, so FindCycle is
+// reproducible run to run — a deadlock report names the same cycle
+// every time.
+type WaitGraph struct {
+	ids   map[string]int
+	names []string
+	edges [][]int
+}
+
+// NewWaitGraph returns an empty graph.
+func NewWaitGraph() *WaitGraph {
+	return &WaitGraph{ids: make(map[string]int)}
+}
+
+// Node interns a node name and returns its id.
+func (g *WaitGraph) Node(name string) int {
+	if id, ok := g.ids[name]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.ids[name] = id
+	g.names = append(g.names, name)
+	g.edges = append(g.edges, nil)
+	return id
+}
+
+// Edge adds a waits-on edge from a to b (duplicates are fine).
+func (g *WaitGraph) Edge(a, b string) {
+	ia, ib := g.Node(a), g.Node(b)
+	g.edges[ia] = append(g.edges[ia], ib)
+}
+
+// Len returns the number of nodes.
+func (g *WaitGraph) Len() int { return len(g.names) }
+
+// FindCycle returns the first cycle found by a depth-first search in
+// insertion order, as the node names along the cycle (the first name
+// repeats at the end), or nil when the graph is acyclic.
+func (g *WaitGraph) FindCycle() []string {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS stack
+		black = 2 // fully explored
+	)
+	color := make([]uint8, len(g.names))
+	// stack holds the DFS path; iterative to survive graphs of any
+	// depth (a fully wired network can chain thousands of queues).
+	type frame struct {
+		node int
+		next int // index into edges[node] of the next edge to explore
+	}
+	for start := range g.names {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.edges[f.node]) {
+				to := g.edges[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case white:
+					color[to] = gray
+					stack = append(stack, frame{node: to})
+				case gray:
+					// Found a back edge: the cycle is the stack
+					// suffix starting at `to`.
+					var cyc []string
+					found := false
+					for _, fr := range stack {
+						if fr.node == to {
+							found = true
+						}
+						if found {
+							cyc = append(cyc, g.names[fr.node])
+						}
+					}
+					cyc = append(cyc, g.names[to])
+					return cyc
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// CycleString renders a cycle as "a -> b -> a", or "" for nil.
+func CycleString(cyc []string) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	return strings.Join(cyc, " -> ")
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// OnTrace, if set alongside Trace, receives each run's recorder as
 	// the run finishes; label is the mechanism name.
 	OnTrace func(label string, rec *trace.Recorder)
+	// Check enables the runtime invariant checker on every run (see
+	// Run.Check): audits are pure observers, so figures are identical
+	// with checking on, but violations abort the figure with a
+	// diagnostics snapshot. Checked runs bypass the result cache.
+	Check bool
 }
 
 func (o Options) withDefaults() Options {
@@ -259,6 +264,7 @@ func runPolicies(hosts int, policies []fabric.Policy, o Options, key string,
 			Mutate:     mutate,
 			FaultSpec:  o.FaultSpec,
 			Trace:      o.Trace,
+			Check:      o.Check,
 		}
 	}
 	results, err := Sweep(runs, o)
@@ -481,6 +487,7 @@ func runAblations(o Options, cases []ablationCase) ([]AblationResult, error) {
 			Bin:        bin,
 			Mutate:     c.mutate,
 			FaultSpec:  o.FaultSpec,
+			Check:      o.Check,
 		}
 	}
 	results, err := Sweep(runs, o)

@@ -57,6 +57,7 @@ func LatencyFig(corner int, o Options) (*Table, error) {
 			Workload:   workload,
 			Until:      until,
 			FaultSpec:  o.FaultSpec,
+			Check:      o.Check,
 			Observe: func(now sim.Time, pk *pkt.Packet) {
 				for i, w := range windows {
 					if now >= w.from && now < w.to {

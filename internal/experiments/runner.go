@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/pkt"
@@ -83,6 +84,14 @@ type Run struct {
 	// fresh one is created per Execute). The recorder is returned in
 	// Result.Trace.
 	Trace *trace.Config
+	// Check attaches the runtime invariant checker (internal/check): the
+	// audits verify packet conservation, flow-control bounds, SAQ/CAM
+	// lifecycle and progress during the run, and a violation aborts the
+	// run with a structured error carrying a diagnostics snapshot.
+	// Audits are pure observers, so a clean checked run produces results
+	// bit-identical to an unchecked one; checked runs never use the
+	// result cache (a cache hit would skip the checking).
+	Check bool
 }
 
 // Result carries everything measured during a run.
@@ -150,6 +159,15 @@ func (r Run) Execute() (*Result, error) {
 		rec = trace.New(*r.Trace)
 		cfg.Tracer = rec
 	}
+	if r.Check {
+		if cfg.Tracer == nil {
+			// A small diagnostic ring so violation snapshots carry the
+			// recent event history even when the caller asked for no
+			// trace; it is not returned in Result.Trace.
+			cfg.Tracer = trace.New(trace.Config{BufferEvents: 512})
+		}
+		cfg.Checker = check.New(check.Config{})
+	}
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return nil, err
@@ -198,15 +216,11 @@ func (r Run) Execute() (*Result, error) {
 			return nil, err
 		}
 	}
-	net.Engine.Run(r.Until)
+	if err := r.simulate(net); err != nil {
+		return nil, err
+	}
 	if injectErr != nil {
 		return nil, fmt.Errorf("experiments: workload injection: %w", injectErr)
-	}
-	if r.DrainAll {
-		net.Engine.Drain()
-		if err := net.CheckQuiesced(); err != nil {
-			return nil, err
-		}
 	}
 	res.Injected = net.InjectedPackets
 	res.Delivered = net.DeliveredPackets
@@ -215,6 +229,44 @@ func (r Run) Execute() (*Result, error) {
 	res.Faults = net.FaultReport()
 	res.Trace = rec
 	return res, nil
+}
+
+// simulate runs the event loop and, for checked runs, converts an
+// invariant-violation panic into the run's error: the checker aborts
+// from deep inside an event handler, and the recover boundary here is
+// what turns that into a structured failure instead of a crashed sweep
+// worker. The violation's Detail() carries the diagnostics snapshot.
+func (r Run) simulate(net *fabric.Network) (err error) {
+	if r.Check {
+		defer func() {
+			if rec := recover(); rec != nil {
+				v, ok := rec.(*check.Violation)
+				if !ok {
+					panic(rec) // not ours: a real bug, keep crashing
+				}
+				err = fmt.Errorf("experiments: invariant violation:\n%s", v.Detail())
+			}
+		}()
+	}
+	net.Engine.Run(r.Until)
+	if r.DrainAll {
+		net.Engine.Drain()
+		if r.Check {
+			// FinalCheck subsumes CheckQuiesced and adds the end-of-run
+			// accounting plus the wait-graph diagnosis for stuck packets.
+			if verr := net.FinalCheck(); verr != nil {
+				if v, ok := verr.(*check.Violation); ok {
+					return fmt.Errorf("experiments: invariant violation:\n%s", v.Detail())
+				}
+				return verr
+			}
+			return nil
+		}
+		if err := net.CheckQuiesced(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CornerWorkload wraps traffic.Corner as a Run workload.

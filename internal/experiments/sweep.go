@@ -52,9 +52,13 @@ func (r Run) DerivedSeed() int64 {
 // loaded from the result cache. Runs carrying live objects that cannot
 // be replayed from the spec — an Observe callback, a flight recorder,
 // a pre-built (single-use) fault plan — or closures not named by Key
-// must always simulate.
+// must always simulate. Checked runs also always simulate: serving a
+// cached result would silently skip the invariant audits the caller
+// asked for (Check is deliberately absent from SpecKey — audits don't
+// change results, so a checked run may still *store* nothing but must
+// never shadow an unchecked entry either way).
 func (r Run) cacheable() bool {
-	if r.Observe != nil || r.Trace != nil || r.Faults != nil {
+	if r.Observe != nil || r.Trace != nil || r.Faults != nil || r.Check {
 		return false
 	}
 	if (r.Workload != nil || r.Mutate != nil) && r.Key == "" {

@@ -110,7 +110,7 @@ func TestSweepRejectsNegativeParallelism(t *testing.T) {
 func TestSweepDeterministicError(t *testing.T) {
 	runs := []Run{
 		{Hosts: 63, Policy: fabric.PolicyRECN, Until: sim.Microsecond}, // bad host count
-		{Hosts: 64, Policy: fabric.Policy1Q},                          // no horizon
+		{Hosts: 64, Policy: fabric.Policy1Q},                           // no horizon
 	}
 	for _, par := range []int{1, 2} {
 		_, err := Sweep(runs, Options{Parallelism: par})
@@ -219,14 +219,14 @@ func TestCacheMissesOnSpecChange(t *testing.T) {
 	}
 	mutants := map[string]Run{}
 	for name, mutate := range map[string]func(*Run){
-		"policy":         func(r *Run) { r.Policy = fabric.PolicyVOQsw },
-		"hosts":          func(r *Run) { r.Hosts = 256 },
-		"packet size":    func(r *Run) { r.PacketSize = 512 },
-		"horizon":        func(r *Run) { r.Until *= 2 },
-		"bin":            func(r *Run) { r.Bin *= 2 },
-		"drain":          func(r *Run) { r.DrainAll = true },
-		"fault plan":     func(r *Run) { r.FaultSpec = "seed=9,droprate=token:0.1" },
-		"recovery":       func(r *Run) { r.Recovery.Enabled = true },
+		"policy":      func(r *Run) { r.Policy = fabric.PolicyVOQsw },
+		"hosts":       func(r *Run) { r.Hosts = 256 },
+		"packet size": func(r *Run) { r.PacketSize = 512 },
+		"horizon":     func(r *Run) { r.Until *= 2 },
+		"bin":         func(r *Run) { r.Bin *= 2 },
+		"drain":       func(r *Run) { r.DrainAll = true },
+		"fault plan":  func(r *Run) { r.FaultSpec = "seed=9,droprate=token:0.1" },
+		"recovery":    func(r *Run) { r.Recovery.Enabled = true },
 		"mutate (ablation key)": func(r *Run) {
 			r.Key = "corner2|saqs=1"
 			r.Mutate = func(cfg *fabric.Config) { cfg.RECN.MaxSAQs = 1 }

@@ -108,6 +108,10 @@ type channel struct {
 	// not yet reached the sink; the credit auditor requires a fully
 	// quiet link before comparing counters.
 	inFlight int
+	// dataInFlight counts just the data packets among them: the
+	// invariant checker's packet census needs packets on the wire.
+	// Maintained unconditionally (one integer op per packet per hop).
+	dataInFlight int
 }
 
 func newChannel(net *Network, src dataSource, sink linkSink) *channel {
@@ -171,6 +175,7 @@ func dataArriveEvent(arg any) {
 	ch, p := o.ch, o.p
 	ch.net.freeOrigin(o)
 	ch.inFlight--
+	ch.dataInFlight--
 	ch.sink.arriveData(p)
 }
 
@@ -240,6 +245,7 @@ func (ch *channel) attempt() {
 	}
 	e.ScheduleArg(ch.busyUntil, txDoneEvent, o)
 	ch.inFlight++
+	ch.dataInFlight++
 	e.ScheduleArg(ch.busyUntil+ch.latency, dataArriveEvent, o)
 }
 

@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// attachChecker wires a Collect-mode invariant checker into cfg and
+// registers a cleanup that fails the test on any recorded violation —
+// making the checker always-on across the fabric test battery.
+func attachChecker(t testing.TB, cfg *Config) *check.Checker {
+	t.Helper()
+	chk := check.New(check.Config{Collect: true})
+	cfg.Checker = chk
+	t.Cleanup(func() {
+		for _, v := range chk.Violations() {
+			t.Errorf("invariant violation: %s", v.Detail())
+		}
+	})
+	return chk
+}
+
+// TestCheckerRunsCleanHotspot drives the standard hotspot workload with
+// every audit enabled and verifies the checker actually ran (audits
+// counted) and found nothing, and that FinalCheck agrees the network
+// quiesced.
+func TestCheckerRunsCleanHotspot(t *testing.T) {
+	n := newFaultNet(t, 64, nil, testRecovery())
+	chk := n.Checker()
+	installHotspot(t, n, 100*sim.Microsecond)
+	n.Engine.Drain()
+	if chk.Audits == 0 {
+		t.Fatal("checker never audited")
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("violations on a healthy run: %v", err)
+	}
+	if err := n.FinalCheck(); err != nil {
+		t.Fatalf("FinalCheck: %v", err)
+	}
+}
+
+// TestCheckerCatchesSeededConservationBug seeds a deliberate
+// conservation bug via the test-only hook (a packet silently vanishes
+// from a switch input queue) and verifies the checker reports it as a
+// structured violation with a populated diagnostics snapshot including
+// the flight-recorder tail.
+func TestCheckerCatchesSeededConservationBug(t *testing.T) {
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	cfg.Policy = PolicyRECN
+	cfg.Tracer = trace.New(trace.Config{BufferEvents: 256, Events: trace.AllEvents})
+	chk := check.New(check.Config{
+		Collect:        true,
+		Period:         2 * sim.Microsecond,
+		LivelockWindow: 50 * sim.Microsecond,
+	})
+	cfg.Checker = chk
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installHotspot(t, n, 50*sim.Microsecond)
+	lost := false
+	n.Engine.Schedule(20*sim.Microsecond, func() {
+		// By 20 µs the hotspot has queues everywhere; vanish the first
+		// queued packet found.
+		for sw := 0; sw < topo.NumSwitches() && !lost; sw++ {
+			for port := 0; port < topo.PortsPerSwitch() && !lost; port++ {
+				lost = n.debugLosePacket(sw, port)
+			}
+		}
+	})
+	n.Engine.Run(2 * sim.Millisecond)
+	if !lost {
+		t.Fatal("seeded bug hook found nothing to lose")
+	}
+	var v *check.Violation
+	for _, c := range chk.Violations() {
+		if c.Rule == check.RulePacketConservation {
+			v = c
+			break
+		}
+	}
+	if v == nil {
+		t.Fatalf("conservation bug not caught; violations: %v", chk.Violations())
+	}
+	if v.At < 20*sim.Microsecond {
+		t.Errorf("violation stamped at %v, before the bug was seeded", v.At)
+	}
+	if !strings.Contains(v.Msg, "census") {
+		t.Errorf("violation message %q missing census accounting", v.Msg)
+	}
+	if !strings.Contains(v.Snapshot, "pending=") {
+		t.Errorf("snapshot missing state block:\n%s", v.Snapshot)
+	}
+	if !strings.Contains(v.Snapshot, "trace events") {
+		t.Errorf("snapshot missing flight-recorder tail:\n%s", v.Snapshot)
+	}
+	// The vanished packet also means the run can never quiesce: the
+	// livelock detector must eventually fire too, and FinalCheck must
+	// report the stuck packet.
+	if err := n.FinalCheck(); err == nil {
+		t.Error("FinalCheck passed despite a lost packet")
+	}
+}
+
+// TestCheckerBitIdentical verifies audits are pure observers: the same
+// seeded workload delivers the identical packet sequence with checks on
+// and off.
+func TestCheckerBitIdentical(t *testing.T) {
+	run := func(withCheck bool) (sig string, delivered uint64) {
+		topo, err := topology.ForHosts(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(topo)
+		cfg.Policy = PolicyRECN
+		cfg.Recovery = testRecovery()
+		if withCheck {
+			cfg.Checker = check.New(check.Config{Collect: true})
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		count := 0
+		n.OnDeliver = func(p *pkt.Packet) {
+			// Sample every 64th delivery to keep the signature small
+			// without losing ordering sensitivity.
+			if count%64 == 0 {
+				fmt.Fprintf(&sb, "%d:%d>%d@%d;", p.ID, p.Src, p.Dst, n.Engine.Now())
+			}
+			count++
+		}
+		installHotspot(t, n, 100*sim.Microsecond)
+		n.Engine.Drain()
+		if withCheck {
+			if err := n.FinalCheck(); err != nil {
+				t.Fatalf("FinalCheck: %v", err)
+			}
+		}
+		return sb.String(), n.DeliveredPackets
+	}
+	sigOff, delOff := run(false)
+	sigOn, delOn := run(true)
+	if delOff != delOn {
+		t.Fatalf("delivered %d with checks off, %d with checks on", delOff, delOn)
+	}
+	if sigOff != sigOn {
+		t.Fatalf("delivery sequence diverged between checks off and on")
+	}
+}
+
+// TestUnknownPolicyRejected: an out-of-range policy is a validation
+// error from New, not a construction-time panic.
+func TestUnknownPolicyRejected(t *testing.T) {
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	cfg.Policy = Policy(99)
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("New with bogus policy: %v", err)
+	}
+}
+
+// badAttachTopo wraps a real topology but claims every host attaches to
+// an out-of-range port — an inconsistent wiring answer that must
+// surface as a build error.
+type badAttachTopo struct{ Topology }
+
+func (b badAttachTopo) HostAttach(host int) (int, int) {
+	sw, _ := b.Topology.HostAttach(host)
+	return sw, b.Topology.PortsPerSwitch()
+}
+
+func TestInconsistentTopologyRejected(t *testing.T) {
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	cfg.Topo = badAttachTopo{topo}
+	_, err = New(cfg)
+	if err == nil || !strings.Contains(err.Error(), "attached to unused port") {
+		t.Fatalf("New with inconsistent topology: %v", err)
+	}
+}
+
+// TestFinalCheckReportsStuckPackets: FinalCheck on a network that still
+// has packets in flight produces a deadlock violation naming the wait
+// state instead of a bare accounting error.
+func TestFinalCheckReportsStuckPackets(t *testing.T) {
+	topo, err := topology.ForHosts(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	chk := check.New(check.Config{Collect: true})
+	cfg.Checker = chk
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectMessage(0, 63, 1024); err != nil {
+		t.Fatal(err)
+	}
+	// Stop long before delivery: packets are mid-flight by design.
+	n.Engine.Run(100 * sim.Nanosecond)
+	verr := n.FinalCheck()
+	if verr == nil {
+		t.Fatal("FinalCheck passed with packets in flight")
+	}
+	v, ok := verr.(*check.Violation)
+	if !ok || v.Rule != check.RuleDeadlock {
+		t.Fatalf("FinalCheck returned %T %v, want deadlock violation", verr, verr)
+	}
+	if !strings.Contains(v.Msg, "wait cycle") {
+		t.Errorf("deadlock message %q missing wait-graph info", v.Msg)
+	}
+	// Drain so the always-on cleanup sees a quiet network, then clear
+	// the intentionally collected violation.
+	n.Engine.Drain()
+}

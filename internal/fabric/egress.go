@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/mempool"
 	"repro/internal/pkt"
 	"repro/internal/recn"
@@ -84,7 +85,10 @@ func egressQueuePlan(cfg Config) (n, cap int) {
 		hosts := cfg.Topo.NumHosts()
 		return hosts, cfg.PortMemory / hosts
 	default:
-		panic(fmt.Sprintf("fabric: unknown policy %v", cfg.Policy))
+		// Unreachable: Config.Validate rejects unknown policies before
+		// any unit is built.
+		panic(check.NewViolation(check.RuleInternal, trace.NetLoc,
+			fmt.Sprintf("fabric: unknown policy %v", cfg.Policy)))
 	}
 }
 
@@ -192,7 +196,8 @@ func (u *egressUnit) classify(p *pkt.Packet, hop int) queueHandle {
 		cls := int(p.Class)
 		return queueHandle{u.qs[cls], cls}
 	}
-	panic("fabric: unknown policy")
+	u.net.fatalf(check.RuleInternal, u.loc(), "unknown policy %v", u.net.cfg.Policy)
+	return queueHandle{}
 }
 
 // admitProbe reports whether a packet can be accepted right now (buffer
@@ -343,6 +348,10 @@ func (u *egressUnit) pickSAQ(boostedOnly bool) *txOrigin {
 }
 
 func (u *egressUnit) grant(h queueHandle, s *recn.SAQ, p *pkt.Packet) *txOrigin {
+	if u.net.check != nil && s != nil && !u.rc.EligibleTx(s) {
+		u.net.check.Fatalf(check.RuleXoffTransmit, u.loc(),
+			"SAQ %v granted the link while stopped", s.Path)
+	}
 	h.q.Pop()
 	if h.idx >= 0 && h.q.Entries() == 0 {
 		u.active.remove(h.idx)
@@ -374,7 +383,7 @@ func (u *egressUnit) txDone(o *txOrigin) {
 // signaling is far below link-serialization timescales).
 func (u *egressUnit) NotifyIngress(ingress int, path pkt.Path) bool {
 	if u.sw == nil {
-		panic("fabric: NIC injection port notified an ingress")
+		u.net.fatalf(check.RuleInternal, u.loc(), "NIC injection port notified an ingress")
 	}
 	in := u.sw.in[ingress]
 	if in == nil || in.rc == nil {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/fault"
 	"repro/internal/pkt"
 	"repro/internal/recn"
@@ -147,6 +148,11 @@ type Config struct {
 	// bound to another network is rejected by New. nil keeps every
 	// hook down to a single pointer comparison.
 	Tracer *trace.Recorder
+	// Checker, when non-nil, runs the runtime invariant checker
+	// (internal/check): periodic conservation/lifecycle/progress audits
+	// with structured violations. Checkers are single-use, like Faults
+	// and Tracer; nil keeps every hook down to a single nil comparison.
+	Checker *check.Checker
 }
 
 // DefaultConfig returns the evaluation defaults for a topology.
@@ -175,6 +181,11 @@ func DefaultConfig(topo Topology) Config {
 func (c *Config) Validate() error {
 	if c.Topo == nil {
 		return fmt.Errorf("fabric: nil topology")
+	}
+	switch c.Policy {
+	case Policy1Q, Policy4Q, PolicyVOQsw, PolicyVOQnet, PolicyRECN:
+	default:
+		return fmt.Errorf("fabric: unknown policy %v (valid: %s)", c.Policy, PolicyNames())
 	}
 	if c.PacketSize <= 0 || c.PacketSize > c.PortMemory {
 		return fmt.Errorf("fabric: packet size %d vs port memory %d", c.PacketSize, c.PortMemory)
@@ -232,6 +243,7 @@ type Network struct {
 	runSweepFn     func()
 	watchdogTickFn func()
 	traceSampleFn  func()
+	checkTickFn    func()
 
 	// Flight recorder (nil when tracing is disabled).
 	rec            *trace.Recorder
@@ -243,6 +255,14 @@ type Network struct {
 	recovery fault.Recovery
 	report   *stats.FaultReport
 	watchdog watchdogState
+
+	// Runtime invariant checker (nil when disabled).
+	check      *check.Checker
+	checkState checkerState
+	// liveXfers counts crossbar transfers in flight; with dataInFlight
+	// on every channel it completes the packet census. Maintained
+	// unconditionally: two integer ops per hop.
+	liveXfers int
 
 	// OnDeliver, when set, observes every packet at the instant it is
 	// fully delivered to its destination host. The packet is recycled
@@ -278,6 +298,7 @@ func New(cfg Config) (*Network, error) {
 	n.runSweepFn = n.runSweep
 	n.watchdogTickFn = n.watchdogTick
 	n.traceSampleFn = n.traceSample
+	n.checkTickFn = n.checkTick
 	topo := cfg.Topo
 	n.switches = make([]*Switch, topo.NumSwitches())
 	for id := range n.switches {
@@ -287,12 +308,18 @@ func New(cfg Config) (*Network, error) {
 	for h := range n.nics {
 		n.nics[h] = newNIC(n, h)
 	}
-	// Wire channels now that all units exist.
+	// Wire channels now that all units exist. Wiring errors (a topology
+	// whose Peer/HostAttach answers are inconsistent) surface here as
+	// validation errors rather than construction-time panics.
 	for _, sw := range n.switches {
-		sw.wire()
+		if err := sw.wire(); err != nil {
+			return nil, err
+		}
 	}
 	for _, nic := range n.nics {
-		nic.wire()
+		if err := nic.wire(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Faults != nil || cfg.Recovery.Enabled {
 		n.report = &stats.FaultReport{}
@@ -311,6 +338,11 @@ func New(cfg Config) (*Network, error) {
 	}
 	if cfg.Tracer != nil {
 		if err := n.installTracer(cfg.Tracer); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Checker != nil {
+		if err := n.installChecker(cfg.Checker); err != nil {
 			return nil, err
 		}
 	}
@@ -408,6 +440,7 @@ func (n *Network) InjectMessageClass(src, dst, size int, class uint8) error {
 	}
 	n.armWatchdog()
 	n.armTraceSampler()
+	n.armChecker()
 	return nil
 }
 

@@ -17,6 +17,7 @@ func newNet(t testing.TB, hosts int, policy Policy) *Network {
 	}
 	cfg := DefaultConfig(topo)
 	cfg.Policy = policy
+	attachChecker(t, &cfg)
 	n, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -374,6 +375,7 @@ func newNetWithPacket(t testing.TB, hosts int, policy Policy, pktSize int) *Netw
 	cfg := DefaultConfig(topo)
 	cfg.Policy = policy
 	cfg.PacketSize = pktSize
+	attachChecker(t, &cfg)
 	n, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

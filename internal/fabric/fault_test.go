@@ -35,6 +35,7 @@ func newFaultNet(t testing.TB, hosts int, plan *fault.Plan, rec fault.Recovery) 
 	cfg.Policy = PolicyRECN
 	cfg.Faults = plan
 	cfg.Recovery = rec
+	attachChecker(t, &cfg)
 	n, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/mempool"
 	"repro/internal/pkt"
 	"repro/internal/recn"
@@ -78,7 +79,10 @@ func ingressQueuePlan(cfg Config) (n, cap int) {
 		hosts := cfg.Topo.NumHosts()
 		return hosts, cfg.PortMemory / hosts
 	default:
-		panic(fmt.Sprintf("fabric: unknown policy %v", cfg.Policy))
+		// Unreachable: Config.Validate rejects unknown policies before
+		// any unit is built.
+		panic(check.NewViolation(check.RuleInternal, trace.NetLoc,
+			fmt.Sprintf("fabric: unknown policy %v", cfg.Policy)))
 	}
 }
 
@@ -108,7 +112,8 @@ func (u *ingressUnit) classify(p *pkt.Packet) (queueHandle, *recn.SAQ) {
 		cls := int(p.Class)
 		return queueHandle{u.qs[cls], cls}, nil
 	}
-	panic("fabric: unknown policy")
+	u.net.fatalf(check.RuleInternal, u.loc(), "unknown policy %v", u.net.cfg.Policy)
+	return queueHandle{}, nil
 }
 
 // kick schedules an arbitration attempt (deduplicated).
@@ -234,7 +239,8 @@ func (u *ingressUnit) canForward(p *pkt.Packet, fromSAQ bool) bool {
 	out := int(p.NextTurn())
 	ou := u.sw.out[out]
 	if ou == nil {
-		panic(fmt.Sprintf("fabric: switch %d route uses unused port %d", u.sw.id, out))
+		u.net.fatalf(check.RuleRouting, u.loc(),
+			"switch %d route of %v uses unused port %d", u.sw.id, p, out)
 	}
 	if !ou.admitProbe(p, p.Hop+1) {
 		if ou.rc != nil {
@@ -341,7 +347,8 @@ func (u *ingressUnit) SendUpstream(m recn.CtlMsg) {
 func (u *ingressUnit) TokenToEgress(egress int, rest pkt.Path) {
 	ou := u.sw.out[egress]
 	if ou == nil || ou.rc == nil {
-		panic(fmt.Sprintf("fabric: token to unused port %d of switch %d", egress, u.sw.id))
+		u.net.fatalf(check.RuleInternal, u.loc(),
+			"token to unused port %d of switch %d", egress, u.sw.id)
 	}
 	if u.net.rec != nil {
 		// Recorded at the receiving egress with the remaining path:

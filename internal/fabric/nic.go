@@ -95,13 +95,19 @@ func newNIC(net *Network, host int) *NIC {
 	return nic
 }
 
-// wire connects the injection channel to the attachment switch.
-func (nic *NIC) wire() {
-	sink := nic.net.switches[nic.attachSw].in[nic.attachPort]
-	if sink == nil {
-		panic(fmt.Sprintf("fabric: host %d attached to unused port", nic.host))
+// wire connects the injection channel to the attachment switch. A host
+// attached to an unused or out-of-range switch port is a validation
+// error, not a panic.
+func (nic *NIC) wire() error {
+	if nic.attachSw < 0 || nic.attachSw >= len(nic.net.switches) {
+		return fmt.Errorf("fabric: host %d attached to nonexistent switch %d", nic.host, nic.attachSw)
 	}
-	nic.inj.attach(sink, false)
+	sw := nic.net.switches[nic.attachSw]
+	if nic.attachPort < 0 || nic.attachPort >= len(sw.in) || sw.in[nic.attachPort] == nil {
+		return fmt.Errorf("fabric: host %d attached to unused port %d of switch %d", nic.host, nic.attachPort, nic.attachSw)
+	}
+	nic.inj.attach(sw.in[nic.attachPort], false)
+	return nil
 }
 
 // Backlog returns the number of packets waiting in admittance queues.

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/topology"
@@ -47,8 +48,10 @@ func newSwitch(net *Network, id int) *Switch {
 }
 
 // wire connects every used port's outgoing channel to its peer and
-// pairs each ingress with its reverse channel.
-func (sw *Switch) wire() {
+// pairs each ingress with its reverse channel. An inconsistent
+// topology (Peer answers that flip between construction and wiring, or
+// point at an unused peer port) is a validation error, not a panic.
+func (sw *Switch) wire() error {
 	topo := sw.net.topo
 	for p, out := range sw.out {
 		if out == nil {
@@ -57,14 +60,25 @@ func (sw *Switch) wire() {
 		end := topo.Peer(sw.id, p)
 		switch end.Kind {
 		case topology.KindHost:
+			if end.Host < 0 || end.Host >= len(sw.net.nics) {
+				return fmt.Errorf("fabric: switch %d port %d wired to nonexistent host %d", sw.id, p, end.Host)
+			}
 			out.attach(sw.net.nics[end.Host], true)
 		case topology.KindSwitch:
-			out.attach(sw.net.switches[end.Switch].in[end.Port], false)
+			if end.Switch < 0 || end.Switch >= len(sw.net.switches) {
+				return fmt.Errorf("fabric: switch %d port %d wired to nonexistent switch %d", sw.id, p, end.Switch)
+			}
+			peer := sw.net.switches[end.Switch]
+			if end.Port < 0 || end.Port >= len(peer.in) || peer.in[end.Port] == nil {
+				return fmt.Errorf("fabric: switch %d port %d wired to unused port %d of switch %d", sw.id, p, end.Port, end.Switch)
+			}
+			out.attach(peer.in[end.Port], false)
 		default:
-			panic(fmt.Sprintf("fabric: wiring unused port %d of switch %d", p, sw.id))
+			return fmt.Errorf("fabric: wiring unused port %d of switch %d", p, sw.id)
 		}
 		sw.in[p].revCh = out.ch
 	}
+	return nil
 }
 
 // kickAllInputs re-arbitrates every input port (an output lane or
@@ -101,6 +115,7 @@ func xferDoneEvent(arg any) {
 	x := arg.(*xferRec)
 	sw, in, h, s, p, out := x.sw, x.in, x.h, x.s, x.p, x.out
 	sw.net.freeXfer(x)
+	sw.net.liveXfers--
 	sw.completeTransfer(in, h, s, p, out)
 }
 
@@ -109,6 +124,10 @@ func xferDoneEvent(arg any) {
 // once eligibility (lanes, admission) has been verified.
 func (sw *Switch) startTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *pkt.Packet) {
 	out := int(p.NextTurn())
+	if sw.net.check != nil && s != nil && !in.rc.EligibleTx(s) {
+		sw.net.check.Fatalf(check.RuleXoffTransmit, in.loc(),
+			"SAQ %v granted a crossbar transfer while stopped", s.Path)
+	}
 	sw.inBusy[in.port] = true
 	sw.outBusy[out] = true
 	h.q.Pop()
@@ -118,6 +137,7 @@ func (sw *Switch) startTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *
 	dur := units.CrossbarRate.Serialize(p.Size)
 	x := sw.net.allocXfer()
 	x.sw, x.in, x.h, x.s, x.p, x.out = sw, in, h, s, p, out
+	sw.net.liveXfers++
 	sw.net.Engine.AfterArg(dur, xferDoneEvent, x)
 }
 

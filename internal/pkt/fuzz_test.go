@@ -1,0 +1,102 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// naiveMatches is the obvious O(n) reference for Path.MatchesRoute /
+// Path.MatchesPacked: the remaining route r[hop:] begins with the
+// path's turn sequence.
+func naiveMatches(turns []byte, r Route, hop int) bool {
+	if hop < 0 || hop > len(r) {
+		return false
+	}
+	rem := r[hop:]
+	if len(turns) > len(rem) {
+		return false
+	}
+	for i, t := range turns {
+		if rem[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// clampFuzz bounds fuzz-provided byte slices so paths exercise both the
+// packed-words representation (≤16 turns) and the ext spill (>16),
+// without letting the fuzzer burn time on megabyte routes.
+func clampFuzz(b []byte) []byte {
+	const max = 3 * packedTurns
+	if len(b) > max {
+		b = b[:max]
+	}
+	return b
+}
+
+// FuzzPackRoute cross-checks the three route-matching paths — the
+// packed fast path (MatchesPacked/PackRoute), the unpacked path
+// (MatchesRoute) and a naive reference — plus the PathOf/Turn
+// round-trip and HasPrefix against its definition, over arbitrary
+// turn sequences, hops (including out-of-range) and path lengths
+// (including the >16-turn ext spill the topologies never produce).
+func FuzzPackRoute(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, 0, []byte{1, 2})
+	f.Add([]byte{1, 2, 3, 4, 5}, 2, []byte{3, 4, 5})
+	f.Add([]byte{7, 7, 7}, 3, []byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, 1,
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17})
+	f.Add([]byte{5}, -1, []byte{5})
+	f.Add([]byte{5}, 9, []byte{5})
+	f.Fuzz(func(t *testing.T, routeB []byte, hop int, pathB []byte) {
+		routeB, pathB = clampFuzz(routeB), clampFuzz(pathB)
+		r := Route(routeB)
+		p := PathOf(pathB...)
+
+		// Round-trip: PathOf preserves length and every turn.
+		if p.Len() != len(pathB) {
+			t.Fatalf("PathOf(%v).Len() = %d", pathB, p.Len())
+		}
+		for i := range pathB {
+			if p.Turn(i) != pathB[i] {
+				t.Fatalf("PathOf(%v).Turn(%d) = %d, want %d", pathB, i, p.Turn(i), pathB[i])
+			}
+		}
+
+		// The three matchers agree, hop in range or not.
+		want := naiveMatches(pathB, r, hop)
+		if got := p.MatchesRoute(r, hop); got != want {
+			t.Fatalf("MatchesRoute(%v, %d) on path %v = %t, want %t", r, hop, pathB, got, want)
+		}
+		if got := p.MatchesPacked(PackRoute(r, hop)); got != want {
+			t.Fatalf("MatchesPacked(PackRoute(%v, %d)) on path %v = %t, want %t", r, hop, pathB, got, want)
+		}
+
+		// HasPrefix against its definition, using the route bytes as the
+		// second path to vary both operands.
+		q := PathOf(routeB...)
+		wantPre := len(routeB) <= len(pathB) && bytes.Equal(pathB[:len(routeB)], routeB)
+		if got := p.HasPrefix(q); got != wantPre {
+			t.Fatalf("Path(%v).HasPrefix(%v) = %t, want %t", pathB, routeB, got, wantPre)
+		}
+
+		// First/Rest/Prepend consistency on non-empty paths: Rest drops
+		// exactly the first turn and Prepend(First) restores the path.
+		if !p.Empty() {
+			rest := p.Rest()
+			if rest.Len() != p.Len()-1 {
+				t.Fatalf("Rest length %d after %d", rest.Len(), p.Len())
+			}
+			for i := 0; i < rest.Len(); i++ {
+				if rest.Turn(i) != p.Turn(i+1) {
+					t.Fatalf("Rest(%v).Turn(%d) = %d, want %d", pathB, i, rest.Turn(i), p.Turn(i+1))
+				}
+			}
+			back := rest.Prepend(p.First())
+			if !back.Equal(p) {
+				t.Fatalf("Prepend(First) did not restore %v: got %v", p, back)
+			}
+		}
+	})
+}

@@ -473,6 +473,12 @@ func (e *Egress) Root() bool { return e.root }
 // ActiveSAQs returns the number of SAQs currently allocated.
 func (e *Egress) ActiveSAQs() int { return e.active }
 
+// CAMUsed returns the number of CAM lines currently allocated. The
+// invariant checker cross-checks it against ActiveSAQs and the
+// allocation counters: a divergence means a leaked or double-freed
+// line.
+func (e *Egress) CAMUsed() int { return e.cam.Used() }
+
 // SAQByID returns a SAQ by CAM line ID (nil when the line is free).
 func (e *Egress) SAQByID(id int) *SAQ {
 	if id < 0 || id >= len(e.saqs) {

@@ -368,6 +368,12 @@ func (in *Ingress) Port() int { return in.port }
 // ActiveSAQs returns the number of SAQs currently allocated.
 func (in *Ingress) ActiveSAQs() int { return in.active }
 
+// CAMUsed returns the number of CAM lines currently allocated. The
+// invariant checker cross-checks it against ActiveSAQs and the
+// allocation counters: a divergence means a leaked or double-freed
+// line.
+func (in *Ingress) CAMUsed() int { return in.cam.Used() }
+
 // SAQByID returns a SAQ by CAM line ID (nil when the line is free).
 func (in *Ingress) SAQByID(id int) *SAQ {
 	if id < 0 || id >= len(in.saqs) {

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/fault"
@@ -113,7 +114,25 @@ type (
 	Series = stats.Series
 	// SeriesSummary condenses a Series (see SummarizeSeries).
 	SeriesSummary = stats.SeriesSummary
+	// Checker is the runtime invariant checker; build one with
+	// NewChecker, pass it via Config.Checker (checkers are single-use),
+	// and call Network.FinalCheck after the run. Figure runs enable it
+	// with Options.Check / Run.Check instead.
+	Checker = check.Checker
+	// CheckConfig tunes the checker (audit period, trace-tail length,
+	// livelock window, collect-vs-panic mode).
+	CheckConfig = check.Config
+	// CheckViolation is one detected invariant violation: the rule, the
+	// simulation time and location, and a diagnostics snapshot
+	// (Detail() renders everything).
+	CheckViolation = check.Violation
+	// CheckRule identifies which invariant a violation broke.
+	CheckRule = check.Rule
 )
+
+// NewChecker builds a runtime invariant checker from a config (zero
+// value = defaults: panic on first violation, 10µs audit period).
+func NewChecker(cfg CheckConfig) *Checker { return check.New(cfg) }
 
 // SummarizeSeries scans a Series once and returns bins/mean/max/peak.
 func SummarizeSeries(s Series) SeriesSummary { return stats.Summarize(s) }
