@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard
+.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix
 
 all: build test
 
@@ -22,13 +22,28 @@ bench:
 # detector. A failing seed is minimized to the smallest still-failing
 # fragment set; reproduce any report with `recnsim -faults "<spec>" -check`.
 chaos-soak:
-	$(GO) test -race -v -run TestChaosSoak -chaos.seeds 16 ./internal/check/chaos/
+	$(GO) test -race -v -run TestChaosSoak ./internal/check/chaos/ -chaos.seeds 16
 
 # The nightly-sized sweep (CI runs this on schedule/manual dispatch).
 chaos-soak-long:
-	$(GO) test -race -timeout 60m -v -run TestChaosSoak -chaos.seeds 250 ./internal/check/chaos/
+	$(GO) test -race -timeout 60m -v -run TestChaosSoak ./internal/check/chaos/ -chaos.seeds 250
 
 # Assert the checks-disabled Fig 2a rate stays within noise of the
 # recorded baseline (the checker's nil-hook path must cost nothing).
 bench-guard:
 	BENCH_BASELINE=BENCH_PR5.json $(GO) test -run TestBenchGuard -v .
+
+# Re-emit the shard-scaling curve (Fig 2a across shard counts 0–8; the
+# committed BENCH_PR7.json records this container's honest numbers) and
+# bound the windowed runtime's single-shard overhead against the serial
+# baseline.
+bench-shards:
+	BENCH_SHARDS_JSON=BENCH_PR7.json $(GO) test -run TestEmitShardBench -v .
+	BENCH_SHARDS_BASELINE=BENCH_PR5.json $(GO) test -run TestShardBenchGuard -v .
+
+# The windowed runtime's bit-identity matrix under the race detector:
+# shard validation, report/figure identity across shard counts, and the
+# sharded chaos soak (live fault injection on shard goroutines).
+shard-matrix:
+	$(GO) test -race -v -run 'TestShard|TestSweepStoreFailure' ./internal/fabric/ ./internal/experiments/
+	$(GO) test -race -v -run TestChaosSoakSharded ./internal/check/chaos/

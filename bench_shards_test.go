@@ -1,0 +1,149 @@
+package repro
+
+// Shard-scaling benchmark: the Figure 2 corner-case-1 reproduction on
+// the windowed multi-core runtime, swept over shard counts, plus a
+// regression guard for the windowed runtime's single-shard overhead.
+//
+// Usage:
+//
+//	BENCH_SHARDS_JSON=BENCH_PR7.json go test -run TestEmitShardBench .
+//	BENCH_SHARDS_BASELINE=BENCH_PR5.json go test -run TestShardBenchGuard .
+//
+// The emitter records the honest curve for the machine it runs on
+// (gomaxprocs and num_cpu are part of the JSON): on a single-core
+// container the windowed runtime cannot beat the serial engine — the
+// barriers and mailboxes are pure overhead — so the ≥ 2× speedup
+// assertion only arms on boxes with at least 8 CPUs. The guard bounds
+// that overhead instead: the shard-1 windowed rate must stay above
+// BENCH_SHARDS_RATIO (default 0.4) of the recorded serial baseline, so
+// a regression that makes windowing drastically more expensive fails
+// even where no parallel speedup is measurable.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// shardBenchPoint is one shard count's headline numbers (Shards 0 is
+// the serial engine, the curve's reference point).
+type shardBenchPoint struct {
+	Shards int `json:"shards"`
+	benchMetrics
+}
+
+// shardBenchBaseline is the serialized shard-scaling curve.
+type shardBenchBaseline struct {
+	GoVersion  string            `json:"go_version"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Scale      float64           `json:"fig2_scale"`
+	Curve      []shardBenchPoint `json:"fig2_corner1_curve"`
+}
+
+// benchmarkFig2Sharded runs the same workload as benchmarkFig2Baseline
+// — the full Figure 2 corner-case-1 reproduction — on the windowed
+// runtime with k shard engines (k = 0 keeps the serial engine), so
+// every curve point measures the identical amount of simulated work.
+func benchmarkFig2Sharded(k int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			fig, err := experiments.Fig2(1, Options{Scale: benchBaselineScale, Shards: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = 0
+			for _, r := range fig.Results {
+				events += r.Events
+			}
+		}
+		b.ReportMetric(float64(events)*float64(b.N)/(b.Elapsed().Seconds()+1e-9), "events/s")
+	}
+}
+
+// TestEmitShardBench writes the shard-scaling curve to
+// $BENCH_SHARDS_JSON and, on machines with ≥ 8 CPUs, asserts the
+// windowed runtime actually scales (8 shards ≥ 2× the 1-shard rate).
+func TestEmitShardBench(t *testing.T) {
+	path := os.Getenv("BENCH_SHARDS_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SHARDS_JSON=<path> to emit the shard-scaling curve")
+	}
+	out := shardBenchBaseline{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      benchBaselineScale,
+	}
+	rates := map[int]float64{}
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		res := testing.Benchmark(benchmarkFig2Sharded(k))
+		m := metricsOf(res)
+		rates[k] = m.EventsPerSec
+		out.Curve = append(out.Curve, shardBenchPoint{Shards: k, benchMetrics: m})
+		t.Logf("shards=%d: %.0f events/s (%d iterations)", k, m.EventsPerSec, m.Iterations)
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (gomaxprocs %d, %d CPUs)", path, out.GoMaxProcs, out.NumCPU)
+	if runtime.NumCPU() < 8 {
+		t.Logf("%d CPUs: recording the honest curve only, parallel-speedup assertion needs ≥ 8", runtime.NumCPU())
+		return
+	}
+	if rates[8] < 2*rates[1] {
+		t.Fatalf("8 shards ran at %.0f events/s, want ≥ 2× the 1-shard rate %.0f", rates[8], rates[1])
+	}
+}
+
+// TestShardBenchGuard bounds the windowed runtime's overhead: the
+// shard-1 rate must stay above BENCH_SHARDS_RATIO (default 0.4) of the
+// recorded serial baseline's Fig 2a rate. Skips without
+// BENCH_SHARDS_BASELINE.
+func TestShardBenchGuard(t *testing.T) {
+	path := os.Getenv("BENCH_SHARDS_BASELINE")
+	if path == "" {
+		t.Skip("set BENCH_SHARDS_BASELINE=<baseline.json> to gate the windowed runtime against the serial baseline")
+	}
+	ratio := 0.4
+	if s := os.Getenv("BENCH_SHARDS_RATIO"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("BENCH_SHARDS_RATIO %q: want a positive float", s)
+		}
+		ratio = v
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("baseline %s: %v", path, err)
+	}
+	if base.Fig2.EventsPerSec <= 0 {
+		t.Fatalf("baseline %s has no fig2 event rate", path)
+	}
+	if base.Scale != benchBaselineScale {
+		t.Fatalf("baseline scale %.3f != current %.3f: rates are not comparable", base.Scale, benchBaselineScale)
+	}
+	res := testing.Benchmark(benchmarkFig2Sharded(1))
+	got := res.Extra["events/s"]
+	floor := ratio * base.Fig2.EventsPerSec
+	t.Logf("shard-1 fig2 events/s: current %.0f, serial baseline %.0f (%s), floor %.0f (ratio %.2f)",
+		got, base.Fig2.EventsPerSec, path, floor, ratio)
+	if got < floor {
+		t.Fatalf("shard-1 windowed rate %.0f events/s fell below %.0f (%.2f × serial baseline %.0f from %s)",
+			got, floor, ratio, base.Fig2.EventsPerSec, path)
+	}
+}

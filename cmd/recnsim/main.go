@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	recnsim -fig 2a [-scale 0.5] [-pkt 64] [-rows 40] [-j 8]
+//	recnsim -fig 2a [-scale 0.5] [-pkt 64] [-rows 40] [-j 8] [-shards 4]
 //	recnsim -fig 2a -trace out.json [-trace-events tree] [-trace-bin 500ns]
 //	recnsim -list
 //	recnsim -all [-scale 0.25]
@@ -38,6 +38,7 @@ func main() {
 		list     = flag.Bool("list", false, "list figure IDs")
 		scale    = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
 		j        = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers for multi-policy figures (≥ 1; output is identical at any setting)")
+		shards   = flag.Int("shards", 0, "shard each simulation across this many cores (windowed runtime; output is identical at any value ≥ 1 but differs deterministically from the default serial engine; 0 = serial; the latency figures lat1/lat2 always run serial)")
 		pkt      = flag.Int("pkt", 0, "packet size in bytes (default per figure)")
 		rows     = flag.Int("rows", 40, "max table rows")
 		quiet    = flag.Bool("q", false, "suppress timing output")
@@ -71,12 +72,16 @@ func main() {
 	if *j < 1 {
 		fatal(fmt.Errorf("-j %d: want at least 1 worker", *j))
 	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards %d: want 0 (serial) or a positive shard count", *shards))
+	}
 	opts := repro.Options{
 		Scale:       *scale,
 		PacketSize:  *pkt,
 		MaxRows:     *rows,
 		FaultSpec:   *faults,
 		Parallelism: *j,
+		Shards:      *shards,
 		Check:       *chk,
 	}
 	// Validate mechanism names up front, before any (possibly long)

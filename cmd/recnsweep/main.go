@@ -37,6 +37,7 @@ func main() {
 		kb      = flag.String("kb", "", "comma-separated detection thresholds in KB (threshold sweep)")
 		scale   = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
 		j       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (≥ 1)")
+		shards  = flag.Int("shards", 0, "shard each simulation across this many cores (windowed runtime; sharded runs bypass the cache; 0 = serial)")
 		cache   = flag.String("cache", "", "run-result cache directory (created if missing)")
 		noCache = flag.Bool("no-cache", false, "bypass the run-result cache")
 		chk     = flag.Bool("check", false, "enable the runtime invariant checker on every run (checked runs bypass the cache)")
@@ -46,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 	// All flag validation happens before any simulation starts.
-	if err := validateFlags(*j, *cache); err != nil {
+	if err := validateFlags(*j, *shards, *cache); err != nil {
 		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
 		os.Exit(2)
 	}
@@ -61,7 +62,17 @@ func main() {
 			os.Exit(1)
 		}
 	}()
-	o := repro.Options{Scale: *scale, Parallelism: *j, CacheDir: *cache, NoCache: *noCache, Check: *chk}
+	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk}
+	// A failed cache write does not fail a sweep (the result is fresh
+	// and correct), but it must not pass silently either: without the
+	// warning a full disk or revoked permission would quietly
+	// re-simulate everything on every future sweep.
+	o.OnCacheSummary = func(s repro.CacheSummary) {
+		if s.StoreFailures > 0 {
+			fmt.Fprintf(os.Stderr, "recnsweep: warning: %d cache write(s) failed (first: %v); results are correct but will re-simulate next sweep\n",
+				s.StoreFailures, s.FirstStoreErr)
+		}
+	}
 
 	var id string
 	switch *sweep {
@@ -106,12 +117,15 @@ func main() {
 	printTables(tables)
 }
 
-// validateFlags rejects a bad worker count or an unusable cache
-// directory up front, naming the offending flag; nothing simulates
-// until both pass.
-func validateFlags(j int, cacheDir string) error {
+// validateFlags rejects a bad worker count, shard count or an unusable
+// cache directory up front, naming the offending flag; nothing
+// simulates until all pass.
+func validateFlags(j, shards int, cacheDir string) error {
 	if j < 1 {
 		return fmt.Errorf("-j %d: want at least 1 worker", j)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards %d: want 0 (serial) or a positive shard count", shards)
 	}
 	if cacheDir != "" {
 		if _, err := repro.OpenRunCache(cacheDir); err != nil {

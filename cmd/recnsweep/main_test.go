@@ -11,7 +11,7 @@ import (
 // offending flag (the style of recnsim's -policies check).
 func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
 	for _, j := range []int{0, -1, -8} {
-		err := validateFlags(j, "")
+		err := validateFlags(j, 0, "")
 		if err == nil {
 			t.Errorf("validateFlags(j=%d) accepted", j)
 			continue
@@ -22,6 +22,16 @@ func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestValidateFlagsRejectsNegativeShards(t *testing.T) {
+	err := validateFlags(1, -2, "")
+	if err == nil {
+		t.Fatal("validateFlags accepted a negative shard count")
+	}
+	if !strings.Contains(err.Error(), "-shards") {
+		t.Errorf("error %q does not name -shards", err)
+	}
+}
+
 func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 	// A path under a regular file can never become a directory, so this
 	// fails even when the tests run as root (unlike permission bits).
@@ -29,7 +39,7 @@ func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := validateFlags(1, filepath.Join(file, "sub"))
+	err := validateFlags(1, 0, filepath.Join(file, "sub"))
 	if err == nil {
 		t.Fatal("validateFlags accepted a cache dir under a regular file")
 	}
@@ -39,12 +49,12 @@ func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 }
 
 func TestValidateFlagsAccepts(t *testing.T) {
-	if err := validateFlags(1, ""); err != nil {
-		t.Errorf("validateFlags(1, \"\") = %v", err)
+	if err := validateFlags(1, 0, ""); err != nil {
+		t.Errorf("validateFlags(1, 0, \"\") = %v", err)
 	}
 	dir := filepath.Join(t.TempDir(), "cache")
-	if err := validateFlags(8, dir); err != nil {
-		t.Errorf("validateFlags(8, %q) = %v", dir, err)
+	if err := validateFlags(8, 4, dir); err != nil {
+		t.Errorf("validateFlags(8, 4, %q) = %v", dir, err)
 	}
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 		t.Errorf("cache dir not created: %v, %v", fi, err)

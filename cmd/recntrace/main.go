@@ -6,7 +6,7 @@
 //
 //	recntrace -gen -out cello.trace [-hosts 64] [-duration-us 800] [-seed 7]
 //	recntrace -stats cello.trace
-//	recntrace -replay cello.trace [-cf 20] [-policy RECN]
+//	recntrace -replay cello.trace [-cf 20] [-policy RECN] [-shards 4]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 		stats    = flag.String("stats", "", "print statistics of a trace file")
 		replay   = flag.String("replay", "", "replay a trace file through the simulator")
 		cf       = flag.Float64("cf", 20, "time compression factor for -replay")
+		shards   = flag.Int("shards", 0, "shard the replay across this many cores (windowed runtime; results are identical at any value ≥ 1 but differ deterministically from the serial engine; 0 = serial)")
 		policy   = flag.String("policy", "RECN", "queuing mechanism for -replay")
 		chk      = flag.Bool("check", false, "run the replay under the runtime invariant checker and verify the end-of-run accounting")
 	)
@@ -54,8 +55,17 @@ func main() {
 		tr := load(*replay)
 		net, err := newReplayNet(*hosts, pol, *chk)
 		check(err)
-		check(repro.ReplayTrace(net, tr, *cf))
-		net.Engine.Drain()
+		if *shards > 0 {
+			// Shard before installing the trace so every record schedules
+			// on its source host's shard engine.
+			_, err := net.Shard(*shards)
+			check(err)
+			check(repro.ReplayTrace(net, tr, *cf))
+			net.DrainWindowed()
+		} else {
+			check(repro.ReplayTrace(net, tr, *cf))
+			net.Engine.Drain()
+		}
 		if *chk {
 			check(net.FinalCheck())
 			fmt.Println("invariant checks passed")

@@ -12,6 +12,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -182,6 +183,128 @@ func (s Scenario) run() (err error) {
 		return fmt.Errorf("%d packets still pending after %v settle", pending, settle)
 	}
 	return s.checkReport(net)
+}
+
+// ErrSerialOnly marks a scenario the sharded runtime cannot execute:
+// scripted drops (drop=kind:n fragments) consume the serial engine's
+// global transmission order. Callers skip such scenarios in sharded
+// soaks rather than failing them.
+var ErrSerialOnly = errors.New("scenario scripts exact drops; serial engine only")
+
+// RunSharded executes the scenario on the windowed runtime with k
+// shard engines, under the same invariant checker, settle budget and
+// accounting audits as Run. The workload is an equivalent per-host
+// deterministic stream (the serial soak workload shares one RNG across
+// sources, which a concurrent run cannot reproduce), so sharded soaks
+// exercise the same fault plans but not the same event schedule.
+func (s Scenario) RunSharded(k int) error {
+	if err := s.runSharded(k); err != nil {
+		if errors.Is(err, ErrSerialOnly) {
+			return err
+		}
+		return fmt.Errorf("chaos: %v [shards=%d]: %w", s, k, err)
+	}
+	return nil
+}
+
+func (s Scenario) runSharded(k int) (err error) {
+	topo, err := topology.ForHosts(s.Hosts)
+	if err != nil {
+		return err
+	}
+	plan, err := fault.ParsePlan(s.Spec())
+	if err != nil {
+		return err
+	}
+	if plan.HasScriptedDrops() {
+		return ErrSerialOnly
+	}
+	cfg := fabric.DefaultConfig(topo)
+	cfg.Policy = fabric.PolicyRECN
+	cfg.Faults = plan
+	cfg.Recovery = aggressiveRecovery()
+	cfg.Tracer = trace.New(trace.Config{BufferEvents: 512})
+	cfg.Checker = check.New(check.Config{LivelockWindow: 500 * sim.Microsecond})
+	net, err := fabric.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := net.Shard(k); err != nil {
+		return err
+	}
+	// Violations on shard goroutines re-raise on this goroutine at the
+	// window barrier (sim.ShardGroup re-panics the lowest-index worker
+	// failure), so one recover boundary still catches everything.
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok := r.(*check.Violation)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("invariant violation:\n%s", v.Detail())
+		}
+	}()
+	if err := s.installWorkloadSharded(net); err != nil {
+		return err
+	}
+	net.RunWindowed(s.Until)
+	net.RunWindowed(s.Until + settle)
+	net.FinishWindowed()
+	if err := net.FinalCheck(); err != nil {
+		return err
+	}
+	if pending := net.PendingPackets(); pending != 0 {
+		return fmt.Errorf("%d packets still pending after %v settle", pending, settle)
+	}
+	return s.checkReport(net)
+}
+
+// installWorkloadSharded mirrors installWorkload with each source's
+// stream on its host's shard engine and a private per-source RNG (the
+// serial workload's shared RNG draws in event order, which concurrent
+// streams cannot reproduce deterministically).
+func (s Scenario) installWorkloadSharded(net *fabric.Network) error {
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	hosts := s.Hosts
+	hot := rng.Intn(hosts)
+	inject := func(src, dst, size int) {
+		if err := net.InjectMessage(src, dst, size); err != nil {
+			panic(check.NewViolation(check.RuleInternal, trace.NetLoc,
+				fmt.Sprintf("chaos workload: %v", err)))
+		}
+	}
+	for i := 0; i < 16; i++ {
+		src := (hot + 1 + i) % hosts
+		eng := net.ShardEngine(net.HostShard(src))
+		var gen func()
+		gen = func() {
+			if eng.Now() > s.Until {
+				return
+			}
+			inject(src, hot, 64)
+			eng.After(64*sim.Nanosecond, gen)
+		}
+		eng.Schedule(0, gen)
+	}
+	for i := 0; i < 16; i++ {
+		src := (hot + 20 + i) % hosts
+		eng := net.ShardEngine(net.HostShard(src))
+		srng := rand.New(rand.NewSource(s.Seed ^ 0x5eed ^ int64(src)*2053))
+		var gen func()
+		gen = func() {
+			if eng.Now() > s.Until {
+				return
+			}
+			dst := srng.Intn(hosts)
+			if dst == src || dst == hot {
+				dst = (hot + 17) % hosts
+			}
+			inject(src, dst, 64+64*srng.Intn(4))
+			eng.After(sim.Time(128+srng.Intn(256))*sim.Nanosecond, gen)
+		}
+		eng.Schedule(0, gen)
+	}
+	return nil
 }
 
 // checkReport verifies the fault/recovery accounting balances after a

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -52,6 +53,36 @@ func TestChaosSoak(t *testing.T) {
 			if err := sc.Run(); err != nil {
 				min, merr := Minimize(sc)
 				t.Fatalf("scenario failed: %v\nminimized to %v: %v", err, min, merr)
+			}
+		})
+	}
+}
+
+// TestChaosSoakSharded runs a subset of the soak seeds on the windowed
+// runtime with 4 shard engines (CI adds -race, which is the point: the
+// window barriers are the only synchronization, so any missing
+// happens-before edge surfaces here). Scenarios whose plans script
+// exact drops are skipped — those are serial-only by design.
+func TestChaosSoakSharded(t *testing.T) {
+	seeds := *soakSeeds
+	if seeds > 6 {
+		seeds = 6
+	}
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sc, err := Generate(seed, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.RunSharded(4); err != nil {
+				if errors.Is(err, ErrSerialOnly) {
+					t.Skipf("%v", err)
+				}
+				t.Fatalf("sharded scenario failed: %v", err)
 			}
 		})
 	}

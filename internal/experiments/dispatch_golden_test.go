@@ -81,7 +81,7 @@ func captureDispatch(t *testing.T, policy fabric.Policy, mutate func(*fabric.Con
 		}
 	})
 	var injectErr error
-	if err := workload(netAdapter{net, &injectErr}); err != nil {
+	if err := workload(netAdapter{n: net, err: &injectErr}); err != nil {
 		t.Fatal(err)
 	}
 	net.Engine.Run(until)

@@ -37,6 +37,18 @@ type Options struct {
 	CacheDir string
 	// NoCache disables the cache even when CacheDir is set.
 	NoCache bool
+	// OnCacheSummary, if set alongside CacheDir, receives the cache
+	// accounting of each sweep as it completes — including the
+	// store-failure tally a sweep deliberately does not fail on (a
+	// failed cache write only costs a future re-simulation, but it must
+	// not be silent: the CLIs warn on stderr when StoreFailures > 0).
+	OnCacheSummary func(CacheSummary)
+	// Shards runs every simulation on the windowed multi-core runtime
+	// with this many shard engines (see Run.Shards); 0 keeps the serial
+	// engine. Results are bit-identical across shard counts ≥ 1 but
+	// deterministically differ from serial results, and sharded runs
+	// bypass the result cache.
+	Shards int
 	// Trace, if non-nil, attaches a flight recorder to every run of
 	// the figure (a fresh recorder per run — they are single-use).
 	Trace *trace.Config
@@ -265,6 +277,7 @@ func runPolicies(hosts int, policies []fabric.Policy, o Options, key string,
 			FaultSpec:  o.FaultSpec,
 			Trace:      o.Trace,
 			Check:      o.Check,
+			Shards:     o.Shards,
 		}
 	}
 	results, err := Sweep(runs, o)
@@ -488,6 +501,7 @@ func runAblations(o Options, cases []ablationCase) ([]AblationResult, error) {
 			Mutate:     c.mutate,
 			FaultSpec:  o.FaultSpec,
 			Check:      o.Check,
+			Shards:     o.Shards,
 		}
 	}
 	results, err := Sweep(runs, o)

@@ -41,7 +41,10 @@ func LatencyFig(corner int, o Options) (*Table, error) {
 	}
 	// One run per policy, fanned across the sweep workers. Each run's
 	// Observe writes only its own window summaries, so the runs stay
-	// independent; the rows render in policy order afterwards.
+	// independent; the rows render in policy order afterwards. These
+	// runs ignore Options.Shards: Observe needs the serial engine
+	// (sharded deliveries run concurrently), and the windowed schedule
+	// would change the latency samples against the serial figures.
 	runs := make([]Run, len(policies))
 	perPolicy := make([][]*stats.Latency, len(policies))
 	for pi, p := range policies {

@@ -25,10 +25,18 @@ import (
 // netAdapter exposes a fabric.Network as a traffic.Network. Injection
 // errors (generator bugs: bad host index, zero size) are collected into
 // err rather than panicking, so one bad workload fails its own run
-// instead of aborting a whole sweep; the first error wins.
+// instead of aborting a whole sweep; the first error wins. It also
+// implements traffic.HostNetwork: on a sharded network HostView hands
+// each source a view bound to its host's shard engine (with a private
+// error slot, since the streams run concurrently), and ScheduleOn
+// mailboxes cross-host work; on a serial network both collapse to the
+// plain adapter.
 type netAdapter struct {
 	n   *fabric.Network
 	err *error
+	// herr is the per-host injection-error slots of a sharded run
+	// (folded in host order after the run); nil on serial runs.
+	herr []error
 }
 
 func (a netAdapter) Hosts() int                      { return a.n.Topology().NumHosts() }
@@ -37,6 +45,52 @@ func (a netAdapter) Schedule(at sim.Time, fn func()) { a.n.Engine.Schedule(at, f
 func (a netAdapter) Inject(src, dst, size int) {
 	if err := a.n.InjectMessage(src, dst, size); err != nil && *a.err == nil {
 		*a.err = err
+	}
+}
+
+func (a netAdapter) HostView(host int) traffic.Network {
+	if a.n.ShardCount() == 0 {
+		return a
+	}
+	return hostAdapter{
+		netAdapter: a,
+		eng:        a.n.ShardEngine(a.n.HostShard(host)),
+		slot:       &a.herr[host],
+	}
+}
+
+func (a netAdapter) ScheduleOn(caller, host int, at sim.Time, fn func()) {
+	a.n.ScheduleRemote(caller, host, at, fn)
+}
+
+// firstInjectErr folds the per-host error slots (lowest host wins, so
+// the reported error does not depend on goroutine timing).
+func (a netAdapter) firstInjectErr() error {
+	if *a.err != nil {
+		return *a.err
+	}
+	for _, err := range a.herr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hostAdapter is one host's injection surface on a sharded network:
+// time and scheduling come from the host's shard engine, and injection
+// errors land in the host's own slot.
+type hostAdapter struct {
+	netAdapter
+	eng  *sim.Engine
+	slot *error
+}
+
+func (a hostAdapter) Now() sim.Time                   { return a.eng.Now() }
+func (a hostAdapter) Schedule(at sim.Time, fn func()) { a.eng.Schedule(at, fn) }
+func (a hostAdapter) Inject(src, dst, size int) {
+	if err := a.n.InjectMessage(src, dst, size); err != nil && *a.slot == nil {
+		*a.slot = err
 	}
 }
 
@@ -84,6 +138,15 @@ type Run struct {
 	// fresh one is created per Execute). The recorder is returned in
 	// Result.Trace.
 	Trace *trace.Config
+	// Shards, when > 0, runs the simulation on the windowed multi-core
+	// runtime: the fabric is partitioned into that many shard engines
+	// synchronized by link-latency windows (see fabric.Network.Shard).
+	// Results are bit-identical across every Shards value ≥ 1 but differ
+	// (deterministically) from the serial Shards == 0 engine, whose event
+	// interleaving windowing does not reproduce; sharded runs are
+	// therefore never mixed with serial runs in one comparison and never
+	// use the result cache. Observe is not supported with Shards set.
+	Shards int
 	// Check attaches the runtime invariant checker (internal/check): the
 	// audits verify packet conservation, flow-control bounds, SAQ/CAM
 	// lifecycle and progress during the run, and a violation aborts the
@@ -172,6 +235,14 @@ func (r Run) Execute() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.Shards > 0 {
+		if r.Observe != nil {
+			return nil, fmt.Errorf("experiments: Observe is not supported on sharded runs (delivery callbacks run concurrently on shard goroutines)")
+		}
+		if _, err := net.Shard(r.Shards); err != nil {
+			return nil, err
+		}
+	}
 
 	tp, err := stats.NewThroughput(r.Bin)
 	if err != nil {
@@ -187,12 +258,36 @@ func (r Run) Execute() (*Result, error) {
 		SAQ:        saq,
 		Latency:    stats.NewLatency(),
 	}
-	net.OnDeliver = func(p *pkt.Packet) {
-		now := net.Engine.Now()
-		res.Throughput.Add(now, p.Size)
-		res.Latency.Add(now - p.CreatedAt)
-		if r.Observe != nil {
-			r.Observe(now, p)
+	var shardTP []*stats.Throughput
+	var shardLat []*stats.Latency
+	if k := net.ShardCount(); k > 0 {
+		// Each shard meters its own deliveries on its own goroutine;
+		// the meters merge after the run (bin addition and histogram
+		// addition commute, so the merged result is shard-invariant).
+		shardTP = make([]*stats.Throughput, k)
+		shardLat = make([]*stats.Latency, k)
+		for i := 0; i < k; i++ {
+			stp, err := stats.NewThroughput(r.Bin)
+			if err != nil {
+				return nil, err
+			}
+			lat := stats.NewLatency()
+			shardTP[i], shardLat[i] = stp, lat
+			eng := net.ShardEngine(i)
+			net.SetShardOnDeliver(i, func(p *pkt.Packet) {
+				now := eng.Now()
+				stp.Add(now, p.Size)
+				lat.Add(now - p.CreatedAt)
+			})
+		}
+	} else {
+		net.OnDeliver = func(p *pkt.Packet) {
+			now := net.Engine.Now()
+			res.Throughput.Add(now, p.Size)
+			res.Latency.Add(now - p.CreatedAt)
+			if r.Observe != nil {
+				r.Observe(now, p)
+			}
 		}
 	}
 	if r.Policy == fabric.PolicyRECN {
@@ -211,23 +306,35 @@ func (r Run) Execute() (*Result, error) {
 		net.Engine.Schedule(0, sample)
 	}
 	var injectErr error
+	adapter := netAdapter{n: net, err: &injectErr}
+	if net.ShardCount() > 0 {
+		adapter.herr = make([]error, net.Topology().NumHosts())
+	}
 	if r.Workload != nil {
-		if err := r.Workload(netAdapter{net, &injectErr}); err != nil {
+		if err := r.Workload(adapter); err != nil {
 			return nil, err
 		}
 	}
 	if err := r.simulate(net); err != nil {
 		return nil, err
 	}
-	if injectErr != nil {
-		return nil, fmt.Errorf("experiments: workload injection: %w", injectErr)
+	if err := adapter.firstInjectErr(); err != nil {
+		return nil, fmt.Errorf("experiments: workload injection: %w", err)
+	}
+	for i := range shardTP {
+		if err := res.Throughput.Merge(shardTP[i]); err != nil {
+			return nil, err
+		}
+		res.Latency.Merge(shardLat[i])
 	}
 	res.Injected = net.InjectedPackets
 	res.Delivered = net.DeliveredPackets
 	res.OrderViolations = net.OrderViolations
-	res.Events = net.Engine.Executed
+	res.Events = net.TotalEvents()
 	res.Faults = net.FaultReport()
-	res.Trace = rec
+	if rec != nil {
+		res.Trace = net.MergedTracer()
+	}
 	return res, nil
 }
 
@@ -248,9 +355,20 @@ func (r Run) simulate(net *fabric.Network) (err error) {
 			}
 		}()
 	}
-	net.Engine.Run(r.Until)
+	if net.ShardCount() > 0 {
+		net.RunWindowed(r.Until)
+		if r.DrainAll {
+			net.DrainWindowed()
+		} else {
+			net.FinishWindowed()
+		}
+	} else {
+		net.Engine.Run(r.Until)
+		if r.DrainAll {
+			net.Engine.Drain()
+		}
+	}
 	if r.DrainAll {
-		net.Engine.Drain()
 		if r.Check {
 			// FinalCheck subsumes CheckQuiesced and adds the end-of-run
 			// accounting plus the wait-graph diagnosis for stuck packets.

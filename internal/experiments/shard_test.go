@@ -1,0 +1,230 @@
+package experiments
+
+// Tests of the windowed multi-core runtime's central contract: a run at
+// any Shards value ≥ 1 produces bit-identical results — same report,
+// same rendered figure bytes — at every other value, because the
+// mailbox merge keys are shard-count-invariant (see fabric/window.go).
+// The suite also pins the guard rails around the contract: sharded runs
+// are deterministic run-to-run, reject the features windowing cannot
+// support, and never touch the result cache.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// shardReport executes one sharded run and returns its report as
+// canonical JSON (series dumps included, so any divergence in any
+// meter fails the comparison).
+func shardReport(t *testing.T, r Run) string {
+	t.Helper()
+	res, err := r.Execute()
+	if err != nil {
+		t.Fatalf("shards=%d: %v", r.Shards, err)
+	}
+	b, err := json.Marshal(res.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardReportIdentity: the corner-case hotspot workload, drained to
+// empty under the invariant checker, reports identically at shard
+// counts 1, 2, 4 and 7 (7 splits the 16-switch stages unevenly, so the
+// partition boundaries cut through stages).
+func TestShardReportIdentity(t *testing.T) {
+	workload, until, err := CornerWorkload(2, 64, 64, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ""
+	for _, k := range []int{1, 2, 4, 7} {
+		r := Run{
+			Hosts: 64, Policy: fabric.PolicyRECN, Key: "shard-identity",
+			Workload: workload, Until: until, Shards: k,
+			DrainAll: true, Check: true,
+		}
+		rep := shardReport(t, r)
+		if base == "" {
+			base = rep
+		} else if rep != base {
+			t.Fatalf("shards=%d report differs from shards=1", k)
+		}
+	}
+}
+
+// TestShardReportIdentityCello covers the cross-host scheduling path
+// (disk replies ride ScheduleRemote mailboxes): the SAN trace workload
+// must also be shard-count-invariant.
+func TestShardReportIdentityCello(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run cello reproduction")
+	}
+	workload, until := CelloWorkload(20, 0.05)
+	base := ""
+	for _, k := range []int{1, 3} {
+		r := Run{
+			Hosts: 64, Policy: fabric.PolicyRECN, Key: "shard-identity-cello",
+			Workload: workload, Until: until, Shards: k, Mutate: celloMutate,
+		}
+		rep := shardReport(t, r)
+		if base == "" {
+			base = rep
+		} else if rep != base {
+			t.Fatalf("shards=%d cello report differs from shards=1", k)
+		}
+	}
+}
+
+// TestShardFigureIdentity renders real figures — the full pipeline
+// from sweep through table formatting — at several shard counts and
+// requires byte-identical output, the same contract the parallel sweep
+// goldens pin for Parallelism.
+func TestShardFigureIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run figure reproduction")
+	}
+	opts := Options{
+		Scale:    0.02,
+		Policies: []fabric.Policy{fabric.Policy1Q, fabric.PolicyRECN},
+	}
+	t.Run("fig2", func(t *testing.T) {
+		base := ""
+		for _, k := range []int{1, 2, 4, 7} {
+			o := opts
+			o.Shards = k
+			fig, err := Fig2(1, o)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", k, err)
+			}
+			got := fig.Table().String()
+			if base == "" {
+				base = got
+			} else if got != base {
+				t.Fatalf("fig2 rendered bytes differ between shards=1 and shards=%d", k)
+			}
+		}
+	})
+	t.Run("fig3", func(t *testing.T) {
+		base := ""
+		for _, k := range []int{1, 4} {
+			o := opts
+			o.Scale = 0.05
+			o.Shards = k
+			fig, err := Fig3(20, o)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", k, err)
+			}
+			got := fig.Table().String()
+			if base == "" {
+				base = got
+			} else if got != base {
+				t.Fatalf("fig3 rendered bytes differ between shards=1 and shards=%d", k)
+			}
+		}
+	})
+}
+
+// TestShardRunDeterminism: the same sharded run executed twice yields
+// the same report — the worker goroutines may interleave differently,
+// but the window barriers and mailbox keys fully determine the result.
+func TestShardRunDeterminism(t *testing.T) {
+	workload, until, err := CornerWorkload(1, 64, 64, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run{
+		Hosts: 64, Policy: fabric.PolicyRECN, Key: "shard-determinism",
+		Workload: workload, Until: until, Shards: 3, DrainAll: true,
+	}
+	first := shardReport(t, r)
+	second := shardReport(t, r)
+	if first != second {
+		t.Fatal("identical sharded runs produced different reports")
+	}
+}
+
+// TestShardRejectsObserve: per-packet observation callbacks would run
+// concurrently on shard goroutines; the run must refuse up front.
+func TestShardRejectsObserve(t *testing.T) {
+	workload, until, err := CornerWorkload(1, 64, 64, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run{
+		Hosts: 64, Policy: fabric.PolicyRECN,
+		Workload: workload, Until: until, Shards: 2,
+		Observe: func(_ sim.Time, _ *pkt.Packet) {},
+	}
+	if _, err := r.Execute(); err == nil || !strings.Contains(err.Error(), "Observe") {
+		t.Fatalf("want Observe rejection, got %v", err)
+	}
+}
+
+// TestShardedRunsNotCacheable: Shards is absent from SpecKey (a sharded
+// and a serial run of the same spec produce different results), so a
+// sharded run must never store to or load from the result cache.
+func TestShardedRunsNotCacheable(t *testing.T) {
+	r := Run{Hosts: 64, Policy: fabric.PolicyRECN, Key: "k", Until: 1}
+	if !r.cacheable() {
+		t.Fatal("serial keyed run should be cacheable")
+	}
+	r.Shards = 1
+	if r.cacheable() {
+		t.Fatal("sharded run must not be cacheable")
+	}
+}
+
+// TestSweepStoreFailureSurfaced: a result that simulates correctly but
+// cannot be written back must not fail the sweep — and must not be
+// silent either. A directory squatting on the entry's final name makes
+// the cache's atomic rename fail while the cache dir itself stays
+// writable, which is exactly the shape of a mid-sweep disk fault.
+func TestSweepStoreFailureSurfaced(t *testing.T) {
+	workload, until, err := CornerWorkload(1, 64, 64, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run{
+		Hosts: 64, Policy: fabric.PolicyRECN, Key: "store-failure",
+		Workload: workload, Until: until,
+	}
+	dir := t.TempDir()
+	entry := filepath.Join(dir, fmt.Sprintf("%016x.json", r.SpecHash()))
+	if err := os.Mkdir(entry, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var summary CacheSummary
+	seen := false
+	results, err := Sweep([]Run{r}, Options{
+		CacheDir: dir,
+		OnCacheSummary: func(s CacheSummary) {
+			summary = s
+			seen = true
+		},
+	})
+	if err != nil {
+		t.Fatalf("store failure must not fail the sweep: %v", err)
+	}
+	if len(results) != 1 || results[0] == nil {
+		t.Fatal("sweep returned no result")
+	}
+	if !seen {
+		t.Fatal("OnCacheSummary was not called")
+	}
+	if summary.StoreFailures != 1 || summary.FirstStoreErr == nil {
+		t.Fatalf("want 1 surfaced store failure, got %+v", summary)
+	}
+	if summary.Hits != 0 || summary.Misses != 1 {
+		t.Fatalf("want 0 hits / 1 miss, got %+v", summary)
+	}
+}

@@ -61,6 +61,12 @@ func (r Run) cacheable() bool {
 	if r.Observe != nil || r.Trace != nil || r.Faults != nil || r.Check {
 		return false
 	}
+	// Sharded runs never touch the cache: their results differ from the
+	// serial engine's (deterministically), and Shards is absent from
+	// SpecKey, so storing either variant would let it shadow the other.
+	if r.Shards > 0 {
+		return false
+	}
 	if (r.Workload != nil || r.Mutate != nil) && r.Key == "" {
 		return false
 	}
@@ -79,9 +85,11 @@ const cacheVersion = 1
 type RunCache struct {
 	dir string
 
-	mu     sync.Mutex
-	hits   int
-	misses int
+	mu         sync.Mutex
+	hits       int
+	misses     int
+	storeFails int
+	storeErr   error // first store failure
 }
 
 // OpenRunCache opens (creating if necessary) a cache directory and
@@ -107,6 +115,25 @@ func (c *RunCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// noteStoreFailure records a failed Store a caller chose not to fail
+// on, so the tally still surfaces in the sweep summary.
+func (c *RunCache) noteStoreFailure(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeFails++
+	if c.storeErr == nil {
+		c.storeErr = err
+	}
+}
+
+// StoreFailures returns how many recorded Store calls failed since
+// open, and the first failure.
+func (c *RunCache) StoreFailures() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storeFails, c.storeErr
 }
 
 func (c *RunCache) path(r Run) string {
@@ -243,6 +270,16 @@ func ResultFromReport(policy fabric.Policy, rep stats.Report) (*Result, error) {
 	return res, nil
 }
 
+// CacheSummary is one sweep's run-cache accounting, delivered through
+// Options.OnCacheSummary. StoreFailures counts results that simulated
+// correctly but could not be written back (the sweep does not fail on
+// those — see executeCached — so this is where they surface).
+type CacheSummary struct {
+	Hits, Misses  int
+	StoreFailures int
+	FirstStoreErr error
+}
+
 // Sweep executes independent runs across a worker pool and returns
 // their results in spec (submission) order, so rendering the results
 // is byte-identical regardless of Parallelism. Options.Parallelism
@@ -267,6 +304,19 @@ func Sweep(runs []Run, o Options) ([]*Result, error) {
 		cache, err = OpenRunCache(o.CacheDir)
 		if err != nil {
 			return nil, err
+		}
+		if o.OnCacheSummary != nil {
+			// Deferred so the summary — including store failures, which
+			// do not fail the sweep — reaches the caller on every exit
+			// path.
+			defer func() {
+				hits, misses := cache.Stats()
+				fails, ferr := cache.StoreFailures()
+				o.OnCacheSummary(CacheSummary{
+					Hits: hits, Misses: misses,
+					StoreFailures: fails, FirstStoreErr: ferr,
+				})
+			}()
 		}
 	}
 	results := make([]*Result, len(runs))
@@ -306,8 +356,11 @@ func Sweep(runs []Run, o Options) ([]*Result, error) {
 }
 
 // executeCached runs one simulation, consulting the cache first. A
-// failed cache write is not a run failure: the result is fresh and
-// correct, the next sweep just re-simulates.
+// failed cache write is not a run failure — the result is fresh and
+// correct, the next sweep just re-simulates — but it is not silent
+// either: the failure is counted and surfaced in the sweep's cache
+// summary (a full disk or revoked permission would otherwise quietly
+// re-simulate everything forever).
 func executeCached(r Run, cache *RunCache) (*Result, error) {
 	if cache != nil {
 		if res, ok := cache.Load(r); ok {
@@ -319,7 +372,9 @@ func executeCached(r Run, cache *RunCache) (*Result, error) {
 		return nil, err
 	}
 	if cache != nil {
-		_ = cache.Store(r, res)
+		if err := cache.Store(r, res); err != nil {
+			cache.noteStoreFailure(err)
+		}
 	}
 	return res, nil
 }

@@ -45,9 +45,11 @@ type dataSource interface {
 
 // txOrigin remembers where a departing packet came from so residency
 // can be released and controllers informed on completion. Records are
-// pooled on the Network; ch is bound by the channel that transmits the
-// packet, and the record returns to the pool when the packet reaches
-// the sink (the later of its two scheduled events).
+// pooled on the shard context; ch is bound by the channel that
+// transmits the packet. In legacy mode the record returns to the pool
+// when the packet reaches the sink (the later of its two scheduled
+// events); in windowed mode the arrival travels by mailbox and the
+// record is recycled at txDone instead.
 type txOrigin struct {
 	ch    *channel
 	p     *pkt.Packet
@@ -71,7 +73,8 @@ type ctlItem struct {
 }
 
 // ctlEv carries a control item from the serializer to its scheduled
-// arrival at the sink. Records are pooled on the Network.
+// arrival at the sink (legacy mode only; windowed arrivals ride the
+// mailbox). Records are pooled on the shard context.
 type ctlEv struct {
 	ch   *channel
 	item ctlItem
@@ -82,7 +85,10 @@ type ctlEv struct {
 // RECN notifications), with control given priority (paper §4.1: flow
 // control packets share the link bandwidth with data packets).
 type channel struct {
-	net     *Network
+	net *Network
+	// sc is the shard context of the SENDING side (the unit that owns
+	// this serializer). The receiving side's context is dstShard.
+	sc      *shardCtx
 	src     dataSource
 	sink    linkSink
 	rate    units.Rate
@@ -106,30 +112,65 @@ type channel struct {
 	down bool
 	// inFlight counts scheduled arrivals (data and control) that have
 	// not yet reached the sink; the credit auditor requires a fully
-	// quiet link before comparing counters.
+	// quiet link before comparing counters. Legacy mode only.
 	inFlight int
 	// dataInFlight counts just the data packets among them: the
 	// invariant checker's packet census needs packets on the wire.
 	// Maintained unconditionally (one integer op per packet per hop).
+	// Legacy mode only.
 	dataInFlight int
+
+	// Windowed-mode state. The split sent/recv counters replace
+	// inFlight: the source shard writes sent*, the destination shard
+	// writes recv*, and only barrier-context code reads both (distinct
+	// words, so the windows never race).
+	id       int32 // deterministic wiring-order channel ID
+	dstShard int32 // shard owning the sink
+	sentData uint64
+	sentCtl  uint64
+	recvData uint64
+	recvCtl  uint64
+	// fv, when non-nil, is this channel's private fault view (windowed
+	// mode): scripted quotas are shared atomically plan-wide, but the
+	// probabilistic stream is per-channel (salted by channel ID) so the
+	// verdict sequence is shard-count-invariant.
+	fv *fault.View
 }
 
-func newChannel(net *Network, src dataSource, sink linkSink) *channel {
+func newChannel(sc *shardCtx, src dataSource, sink linkSink) *channel {
 	ch := &channel{
-		net:     net,
+		net:     sc.n,
+		sc:      sc,
 		src:     src,
 		sink:    sink,
 		rate:    units.LinkRate,
-		latency: net.cfg.LinkLatency,
+		latency: sc.n.cfg.LinkLatency,
 	}
 	ch.attemptFn = ch.attempt
 	return ch
 }
 
+// flight returns the messages sent but not yet delivered on this
+// direction. Barrier/end-of-run context only in windowed mode.
+func (ch *channel) flight() int {
+	if ch.sc.sharded {
+		return int((ch.sentData + ch.sentCtl) - (ch.recvData + ch.recvCtl))
+	}
+	return ch.inFlight
+}
+
+// dataFlight returns just the data packets in flight (the census term).
+func (ch *channel) dataFlight() int {
+	if ch.sc.sharded {
+		return int(ch.sentData - ch.recvData)
+	}
+	return ch.dataInFlight
+}
+
 // pushCredit enqueues a credit return.
 func (ch *channel) pushCredit(bytes, queue int) {
-	if ch.net.rec != nil {
-		ch.net.rec.Record(trace.EvCredit, ch.loc, "", int64(bytes), int64(queue), 0)
+	if ch.sc.rec != nil {
+		ch.sc.rec.Record(trace.EvCredit, ch.loc, "", int64(bytes), int64(queue), 0)
 	}
 	ch.ctl = append(ch.ctl, ctlItem{size: ch.net.cfg.CreditSize, kind: ctlCredit, credit: creditMsg{bytes: bytes, queue: queue}})
 	ch.kick()
@@ -148,7 +189,7 @@ func (ch *channel) kick() {
 	if ch.kickPending {
 		return
 	}
-	e := ch.net.Engine
+	e := ch.sc.eng
 	if e.Now() >= ch.busyUntil {
 		ch.attempt()
 		return
@@ -159,24 +200,54 @@ func (ch *channel) kick() {
 
 // txDoneEvent fires when a data packet has fully left the sending port
 // RAM: residency releases and the serializer is free for the next
-// grant. The origin stays live — its arrival event is still pending.
+// grant. In legacy mode the origin stays live — its arrival event is
+// still pending; in windowed mode the arrival rides the mailbox, so
+// the record recycles here.
 func txDoneEvent(arg any) {
 	o := arg.(*txOrigin)
 	ch := o.ch
 	ch.src.txDone(o)
+	if ch.sc.sharded {
+		ch.sc.freeOrigin(o)
+	}
 	ch.kick()
 }
 
 // dataArriveEvent fires when a data packet reaches the far end of the
-// link. The origin record is recycled before the sink runs: the sink
-// may synchronously grant new transmissions that need a fresh record.
+// link (legacy mode). The origin record is recycled before the sink
+// runs: the sink may synchronously grant new transmissions that need a
+// fresh record.
 func dataArriveEvent(arg any) {
 	o := arg.(*txOrigin)
 	ch, p := o.ch, o.p
-	ch.net.freeOrigin(o)
+	ch.sc.freeOrigin(o)
 	ch.inFlight--
 	ch.dataInFlight--
 	ch.sink.arriveData(p)
+}
+
+// ctlVerdict resolves the fate of a control item under fault injection:
+// through the channel's private view in windowed mode, through the
+// shared plan in legacy mode, no-fault otherwise.
+func (ch *channel) ctlVerdict(item ctlItem) (fault.Verdict, bool) {
+	if ch.fv != nil {
+		return ch.fv.CtlVerdict(item.faultKind()), true
+	}
+	if plan := ch.net.faults; plan != nil {
+		return plan.CtlVerdict(item.faultKind()), true
+	}
+	return fault.Verdict{}, false
+}
+
+// corruptData resolves payload corruption for the next data packet.
+func (ch *channel) corruptData() bool {
+	if ch.fv != nil {
+		return ch.fv.CorruptData()
+	}
+	if plan := ch.net.faults; plan != nil {
+		return plan.CorruptData()
+	}
+	return false
 }
 
 func (ch *channel) attempt() {
@@ -184,7 +255,7 @@ func (ch *channel) attempt() {
 	if ch.down {
 		return // restored by the flap schedule, which kicks again
 	}
-	e := ch.net.Engine
+	e := ch.sc.eng
 	if e.Now() < ch.busyUntil {
 		ch.kick()
 		return
@@ -201,22 +272,22 @@ func (ch *channel) attempt() {
 		}
 		ser := ch.rate.Serialize(item.size)
 		ch.busyUntil = e.Now() + ser
-		if plan := ch.net.faults; plan != nil {
-			switch v := plan.CtlVerdict(item.faultKind()); {
+		if v, faulty := ch.ctlVerdict(item); faulty {
+			switch {
 			case v.Drop:
 				// The message consumed link time but never arrives.
-				if ch.net.rec != nil {
-					ch.net.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDrop, 0)
+				if ch.sc.rec != nil {
+					ch.sc.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDrop, 0)
 				}
 			case v.Dup:
-				if ch.net.rec != nil {
-					ch.net.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDup, 0)
+				if ch.sc.rec != nil {
+					ch.sc.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDup, 0)
 				}
 				ch.scheduleCtl(item, ch.busyUntil+ch.latency)
 				ch.scheduleCtl(item, ch.busyUntil+ch.latency)
 			default:
-				if v.Delay > 0 && ch.net.rec != nil {
-					ch.net.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDelay, int64(v.Delay))
+				if v.Delay > 0 && ch.sc.rec != nil {
+					ch.sc.rec.Record(trace.EvFault, ch.loc, item.faultKind().String(), 0, trace.FaultDelay, int64(v.Delay))
 				}
 				ch.scheduleCtl(item, ch.busyUntil+ch.latency+v.Delay)
 			}
@@ -232,30 +303,34 @@ func (ch *channel) attempt() {
 		return
 	}
 	o.ch = ch
-	if ch.net.rec != nil {
-		ch.net.rec.RecordPacket(trace.EvSend, ch.loc, o.p.ID, o.p.Size, o.p.Src, o.p.Dst)
+	if ch.sc.rec != nil {
+		ch.sc.rec.RecordPacket(trace.EvSend, ch.loc, o.p.ID, o.p.Size, o.p.Src, o.p.Dst)
 	}
 	ser := ch.rate.Serialize(o.bytes)
 	ch.busyUntil = e.Now() + ser
-	if plan := ch.net.faults; plan != nil && plan.CorruptData() {
+	if ch.corruptData() {
 		o.p.Corrupted = true
-		if ch.net.rec != nil {
-			ch.net.rec.Record(trace.EvFault, ch.loc, "data", 0, trace.FaultCorrupt, 0)
+		if ch.sc.rec != nil {
+			ch.sc.rec.Record(trace.EvFault, ch.loc, "data", 0, trace.FaultCorrupt, 0)
 		}
 	}
 	e.ScheduleArg(ch.busyUntil, txDoneEvent, o)
+	if ch.sc.sharded {
+		ch.sc.sendData(ch, o.p, ch.busyUntil+ch.latency)
+		return
+	}
 	ch.inFlight++
 	ch.dataInFlight++
 	e.ScheduleArg(ch.busyUntil+ch.latency, dataArriveEvent, o)
 }
 
-// ctlArriveEvent delivers a control message to the sink. The event
-// record is recycled before the sink runs (it may synchronously queue
-// new control traffic that needs a record).
+// ctlArriveEvent delivers a control message to the sink (legacy mode).
+// The event record is recycled before the sink runs (it may
+// synchronously queue new control traffic that needs a record).
 func ctlArriveEvent(arg any) {
 	ev := arg.(*ctlEv)
 	ch, item := ev.ch, ev.item
-	ch.net.freeCtlEv(ev)
+	ch.sc.freeCtlEv(ev)
 	ch.inFlight--
 	if item.kind == ctlCredit {
 		ch.sink.arriveCredit(item.credit)
@@ -265,18 +340,23 @@ func ctlArriveEvent(arg any) {
 }
 
 // scheduleCtl schedules a control message's arrival at the sink,
-// tracking it as in flight until delivered.
+// tracking it as in flight until delivered. Windowed mode routes the
+// arrival through the boundary mailbox instead of a direct event.
 func (ch *channel) scheduleCtl(item ctlItem, at sim.Time) {
+	if ch.sc.sharded {
+		ch.sc.sendCtl(ch, item, at)
+		return
+	}
 	ch.inFlight++
-	ev := ch.net.allocCtlEv()
+	ev := ch.sc.allocCtlEv()
 	ev.ch, ev.item = ch, item
-	ch.net.Engine.ScheduleArg(at, ctlArriveEvent, ev)
+	ch.sc.eng.ScheduleArg(at, ctlArriveEvent, ev)
 }
 
 // quiet reports whether this direction is completely silent: nothing
 // serializing, nothing queued and nothing in flight.
 func (ch *channel) quiet(now sim.Time) bool {
-	return now >= ch.busyUntil && ch.ctlHead >= len(ch.ctl) && ch.inFlight == 0
+	return now >= ch.busyUntil && ch.ctlHead >= len(ch.ctl) && ch.flight() == 0
 }
 
 // faultKind maps a control item to its fault-injection kind.

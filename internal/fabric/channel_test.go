@@ -55,9 +55,10 @@ func newTestChannel(t *testing.T) (*Network, *fakeSource, *fakeSink, *channel) {
 	topo, _ := topology.ForHosts(64)
 	cfg := DefaultConfig(topo)
 	net := &Network{Engine: sim.NewEngine(), cfg: cfg, topo: topo}
+	net.base = &shardCtx{n: net, id: -1, eng: net.Engine, cnt: &net.netCounters, lastSeq: make(map[uint64]uint64)}
 	src := &fakeSource{}
 	sink := &fakeSink{eng: net.Engine}
-	ch := newChannel(net, src, sink)
+	ch := newChannel(net.base, src, sink)
 	return net, src, sink, ch
 }
 

@@ -75,7 +75,7 @@ func (n *Network) checkSnapshot(w io.Writer) {
 		n.PendingPackets(), n.InjectedPackets, n.DeliveredPackets, n.DroppedMessages, n.RootCount())
 	total, maxIn, maxOut := n.SAQUsage()
 	fmt.Fprintf(w, "saqs=%d (max ingress %d, max egress %d) liveXfers=%d\n",
-		total, maxIn, maxOut, n.liveXfers)
+		total, maxIn, maxOut, n.liveXferCount())
 	if n.report != nil {
 		fmt.Fprintf(w, "faults: %+v\n", *n.report)
 	}
@@ -146,11 +146,11 @@ func egressRanger(rc *recn.Egress) saqRanger {
 // undelivered packet is in a host backlog, a port queue, the crossbar
 // or on a link — nowhere else, and none missing.
 func (n *Network) auditConservation() {
-	census := uint64(n.liveXfers)
+	census := uint64(n.liveXferCount())
 	for _, nic := range n.nics {
 		census += uint64(nic.backlog)
 		census += uint64(queuedPackets(nic.inj.qs, egressRanger(nic.inj.rc)))
-		census += uint64(nic.inj.ch.dataInFlight)
+		census += uint64(nic.inj.ch.dataFlight())
 	}
 	for _, sw := range n.switches {
 		for _, in := range sw.in {
@@ -161,14 +161,14 @@ func (n *Network) auditConservation() {
 		for _, out := range sw.out {
 			if out != nil {
 				census += uint64(queuedPackets(out.qs, egressRanger(out.rc)))
-				census += uint64(out.ch.dataInFlight)
+				census += uint64(out.ch.dataFlight())
 			}
 		}
 	}
 	if pending := n.PendingPackets(); census != pending {
 		n.check.Failf(check.RulePacketConservation, trace.NetLoc,
 			"census %d != pending %d (injected %d, delivered %d, crossbar %d)",
-			census, pending, n.InjectedPackets, n.DeliveredPackets, n.liveXfers)
+			census, pending, n.InjectedPackets, n.DeliveredPackets, n.liveXferCount())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 // buffer.
 type egressUnit struct {
 	net  *Network
+	sc   *shardCtx
 	sw   *Switch // nil for NIC injection ports
 	nic  *NIC    // nil for switch output ports
 	port int     // output port index within the switch (0 for NICs)
@@ -55,6 +56,7 @@ func newEgressUnit(net *Network, sw *Switch, port int, terminal bool) *egressUni
 	cfg := net.cfg
 	u := &egressUnit{
 		net:  net,
+		sc:   net.base,
 		sw:   sw,
 		port: port,
 		pool: mempool.NewPool(cfg.PortMemory),
@@ -95,7 +97,7 @@ func egressQueuePlan(cfg Config) (n, cap int) {
 // attach wires the outgoing channel and initializes credits for the
 // remote input buffer.
 func (u *egressUnit) attach(sink linkSink, remoteHost bool) {
-	u.ch = newChannel(u.net, u, sink)
+	u.ch = newChannel(u.sc, u, sink)
 	u.ch.loc = u.loc()
 	u.remoteHost = remoteHost
 	cfg := u.net.cfg
@@ -141,7 +143,7 @@ func (u *egressUnit) hasCredit(p *pkt.Packet) bool {
 }
 
 func (u *egressUnit) consumeCredit(p *pkt.Packet) {
-	u.lastCreditAt = u.net.Engine.Now()
+	u.lastCreditAt = u.sc.eng.Now()
 	if idx := u.creditIndex(p); idx >= 0 {
 		u.queueCredits[idx] -= p.Size
 		return
@@ -151,7 +153,7 @@ func (u *egressUnit) consumeCredit(p *pkt.Packet) {
 
 // addCredit applies a returned credit and retries transmission.
 func (u *egressUnit) addCredit(c creditMsg) {
-	u.lastCreditAt = u.net.Engine.Now()
+	u.lastCreditAt = u.sc.eng.Now()
 	if c.queue >= 0 && u.queueCredits != nil {
 		u.queueCredits[c.queue] += c.bytes
 	} else {
@@ -357,7 +359,7 @@ func (u *egressUnit) grant(h queueHandle, s *recn.SAQ, p *pkt.Packet) *txOrigin 
 		u.active.remove(h.idx)
 	}
 	u.consumeCredit(p)
-	o := u.net.allocOrigin()
+	o := u.sc.allocOrigin()
 	o.p, o.q, o.saq, o.bytes = p, h, s, p.Size
 	return o
 }
@@ -390,33 +392,33 @@ func (u *egressUnit) NotifyIngress(ingress int, path pkt.Path) bool {
 		return false
 	}
 	ok := in.rc.OnNotifyLocal(path)
-	if u.net.rec != nil {
+	if u.sc.rec != nil {
 		// Recorded at the receiving ingress: the path is anchored at
 		// this switch, which is what the root resolver expects.
 		accepted := int64(0)
 		if ok {
 			accepted = 1
 		}
-		u.net.rec.Record(trace.EvNotify, in.loc(), path.Key(), 1, accepted, 0)
+		u.sc.rec.Record(trace.EvNotify, in.loc(), path.Key(), 1, accepted, 0)
 	}
 	if ok {
 		// A marker was placed in the ingress normal queue; ensure the
 		// arbiter runs so it can be peeled even if no further packets
 		// arrive at that port.
 		in.kick()
-		u.net.scheduleSweep()
+		u.sc.scheduleSweep()
 	}
 	return ok
 }
 
 // SendTokenDownstream forwards a token over the link (paper §3.5).
 func (u *egressUnit) SendTokenDownstream(path pkt.Path, refused bool) {
-	if u.net.rec != nil {
+	if u.sc.rec != nil {
 		ref := int64(0)
 		if refused {
 			ref = 1
 		}
-		u.net.rec.Record(trace.EvToken, u.loc(), path.Key(), ref, 0, 0)
+		u.sc.rec.Record(trace.EvToken, u.loc(), path.Key(), ref, 0, 0)
 	}
 	u.ch.pushCtl(recn.CtlMsg{Kind: recn.MsgToken, Path: path, Refused: refused})
 }

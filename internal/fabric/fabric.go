@@ -218,8 +218,12 @@ func (c *Config) Validate() error {
 }
 
 // Network is one fully wired simulation instance. All methods must be
-// called from the simulation goroutine.
+// called from the simulation goroutine (in windowed mode: from barrier
+// context — see Shard and RunWindowed in window.go).
 type Network struct {
+	// Engine is the global event engine: the only engine in legacy
+	// mode, the coordinator engine (periodic drivers, link flaps) in
+	// windowed mode.
 	Engine *sim.Engine
 	cfg    Config
 	topo   Topology
@@ -227,16 +231,23 @@ type Network struct {
 	switches []*Switch
 	nics     []*NIC
 
-	pktSeq       uint64
 	sweepPending bool
 
-	// Free-lists keeping the steady-state hot path allocation-free
-	// (see pools.go). pktPool recycles delivered packets back into
-	// injection; the rest recycle pooled event records.
-	pktPool pkt.Pool
-	origins []*txOrigin
-	ctlEvs  []*ctlEv
-	xfers   []*xferRec
+	// base is the legacy/coordinator shard context: it aliases Engine
+	// and the embedded aggregate counters, and owns the free-lists in
+	// legacy mode. shards/group exist only after Shard (windowed mode).
+	base       *shardCtx
+	shards     []*shardCtx
+	group      *sim.ShardGroup
+	windowStep sim.Time
+	hostShard  []int32
+	// remoteMark tracks per-host ScheduleRemote calls (windowed mode):
+	// each entry is written only by the owning host's shard, and gives
+	// cross-stream injections a shard-count-invariant order key.
+	remoteMark []remoteMark
+	// windowsDone marks the windowed run as finished (per-shard stats
+	// folded, worker goroutines released).
+	windowsDone bool
 
 	// Prebound periodic-event thunks: binding the method values once at
 	// construction keeps the rearm paths allocation-free.
@@ -259,29 +270,17 @@ type Network struct {
 	// Runtime invariant checker (nil when disabled).
 	check      *check.Checker
 	checkState checkerState
-	// liveXfers counts crossbar transfers in flight; with dataInFlight
-	// on every channel it completes the packet census. Maintained
-	// unconditionally: two integer ops per hop.
-	liveXfers int
 
 	// OnDeliver, when set, observes every packet at the instant it is
 	// fully delivered to its destination host. The packet is recycled
 	// into the injection pool as soon as the callback returns, so
 	// observers must copy any fields they need and must not retain p.
+	// Windowed mode uses per-shard observers instead (SetShardOnDeliver).
 	OnDeliver func(p *pkt.Packet)
 
-	// Aggregate counters.
-	InjectedPackets  uint64
-	InjectedBytes    uint64
-	DeliveredPackets uint64
-	DeliveredBytes   uint64
-	OrderViolations  uint64
-	// DroppedMessages counts messages discarded at hosts because the
-	// admittance queue for their destination was full (AdmitCap).
-	// These never enter the network — the fabric itself is lossless.
-	DroppedMessages uint64
-
-	lastSeq map[uint64]uint64 // (src,dst) → last delivered seq
+	// Aggregate counters (InjectedPackets, DeliveredBytes, ...). In
+	// windowed mode these are barrier-consistent sums over the shards.
+	netCounters
 }
 
 // New builds a network. The engine clock starts at zero.
@@ -290,15 +289,29 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{
-		Engine:  sim.NewEngine(),
-		cfg:     cfg,
-		topo:    cfg.Topo,
+		Engine: sim.NewEngine(),
+		cfg:    cfg,
+		topo:   cfg.Topo,
+	}
+	n.base = &shardCtx{
+		n:       n,
+		id:      -1,
+		eng:     n.Engine,
+		cnt:     &n.netCounters,
 		lastSeq: make(map[uint64]uint64),
 	}
 	n.runSweepFn = n.runSweep
 	n.watchdogTickFn = n.watchdogTick
 	n.traceSampleFn = n.traceSample
 	n.checkTickFn = n.checkTick
+	// Construction and wiring order is load-bearing: switches, NICs and
+	// (transitively) channels live in slices iterated by index, never in
+	// maps, so unit creation order — and with it every derived identity
+	// (wiring-order channel IDs, shard partition boundaries, mailbox
+	// merge keys, per-channel fault-stream salts) — is the same on every
+	// run. Audited when the windowed runtime landed: no construction or
+	// per-event path in this package ranges over a map (the one map, the
+	// base context's lastSeq, is only ever indexed).
 	topo := cfg.Topo
 	n.switches = make([]*Switch, topo.NumSwitches())
 	for id := range n.switches {
@@ -323,6 +336,7 @@ func New(cfg Config) (*Network, error) {
 	}
 	if cfg.Faults != nil || cfg.Recovery.Enabled {
 		n.report = &stats.FaultReport{}
+		n.base.report = n.report
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Bind(n.report); err != nil {
@@ -435,8 +449,15 @@ func (n *Network) InjectMessageClass(src, dst, size int, class uint8) error {
 	if int(class) >= n.cfg.TrafficClasses {
 		return fmt.Errorf("fabric: class %d outside the %d configured", class, n.cfg.TrafficClasses)
 	}
-	if err := n.nics[src].injectMessage(dst, size, class); err != nil {
+	nic := n.nics[src]
+	if err := nic.injectMessage(dst, size, class); err != nil {
 		return err
+	}
+	if nic.sc.sharded {
+		// Windowed mode: record arm requests for the coordinator-run
+		// periodic drivers; the barrier collects and schedules them.
+		nic.sc.armSharded()
+		return nil
 	}
 	n.armWatchdog()
 	n.armTraceSampler()
@@ -483,29 +504,6 @@ func (n *Network) runSweep() {
 		n.sweepPending = true
 		n.Engine.After(idleSweepPeriod, n.runSweepFn)
 	}
-}
-
-// deliver is called by a NIC when a packet fully arrives at its host.
-// The packet returns to the pool when deliver returns: OnDeliver
-// observers must copy what they need, never retain p.
-func (n *Network) deliver(p *pkt.Packet) {
-	n.DeliveredPackets++
-	n.DeliveredBytes += uint64(p.Size)
-	if p.Corrupted {
-		// Corrupted is only ever set by a bound fault plan, so the
-		// report exists.
-		n.report.CorruptedDelivered++
-	}
-	key := uint64(p.Src)<<40 | uint64(uint32(p.Dst))<<8 | uint64(p.Class)
-	if last, ok := n.lastSeq[key]; ok && p.Seq <= last {
-		n.OrderViolations++
-	} else {
-		n.lastSeq[key] = p.Seq
-	}
-	if n.OnDeliver != nil {
-		n.OnDeliver(p)
-	}
-	n.pktPool.Put(p)
 }
 
 // SAQUsage returns the current total number of allocated SAQs in the
@@ -599,9 +597,24 @@ func (n *Network) RootCount() int {
 }
 
 // PendingPackets returns injected minus delivered packets — zero after
-// the network quiesces (the losslessness check).
+// the network quiesces (the losslessness check). Windowed mode: the
+// counters are barrier-consistent aggregates, so call from barrier
+// context only.
 func (n *Network) PendingPackets() uint64 {
 	return n.InjectedPackets - n.DeliveredPackets
+}
+
+// liveXferCount returns the crossbar transfers currently in flight
+// (summed over shards in windowed mode; barrier context only).
+func (n *Network) liveXferCount() int {
+	if n.shards == nil {
+		return n.base.liveXfers
+	}
+	c := 0
+	for _, sc := range n.shards {
+		c += sc.liveXfers
+	}
+	return c
 }
 
 // CheckQuiesced verifies end-of-run invariants: every packet delivered,

@@ -18,6 +18,7 @@ import (
 // to the co-located egress unit are dispatched from here.
 type ingressUnit struct {
 	net  *Network
+	sc   *shardCtx
 	sw   *Switch
 	port int
 
@@ -45,6 +46,7 @@ func newIngressUnit(net *Network, sw *Switch, port int) *ingressUnit {
 	cfg := net.cfg
 	u := &ingressUnit{
 		net:  net,
+		sc:   net.base,
 		sw:   sw,
 		port: port,
 		pool: mempool.NewPool(cfg.PortMemory),
@@ -122,7 +124,7 @@ func (u *ingressUnit) kick() {
 		return
 	}
 	u.kickPending = true
-	u.net.Engine.Schedule(u.net.Engine.Now(), u.arbitFn)
+	u.sc.eng.Schedule(u.sc.eng.Now(), u.arbitFn)
 }
 
 // arbit is the crossbar request arbiter for this input port: pick the
@@ -259,8 +261,8 @@ func (u *ingressUnit) canForward(p *pkt.Packet, fromSAQ bool) bool {
 // arriveData stores a packet arriving over the link. Credits guarantee
 // space; mempool panics otherwise (a flow-control bug).
 func (u *ingressUnit) arriveData(p *pkt.Packet) {
-	if u.net.rec != nil {
-		u.net.rec.RecordPacket(trace.EvRecv, u.loc(), p.ID, p.Size, p.Src, p.Dst)
+	if u.sc.rec != nil {
+		u.sc.rec.RecordPacket(trace.EvRecv, u.loc(), p.ID, p.Size, p.Src, p.Dst)
 	}
 	h, s := u.classify(p)
 	h.q.Push(p.Size, p)
@@ -296,7 +298,7 @@ func (u *ingressUnit) arriveCtl(m recn.CtlMsg) {
 			// sure the arbiter runs so it can be peeled even if no
 			// further packets arrive.
 			out.ch.kick()
-			u.net.scheduleSweep()
+			u.sc.scheduleSweep()
 		}
 	case recn.MsgXoff:
 		out := u.sw.out[u.port]
@@ -330,14 +332,14 @@ func (u *ingressUnit) reverseQuiet(now sim.Time) bool { return u.revCh.quiet(now
 
 // SendUpstream transmits a RECN control message on the reverse link.
 func (u *ingressUnit) SendUpstream(m recn.CtlMsg) {
-	if u.net.rec != nil {
+	if u.sc.rec != nil {
 		switch m.Kind {
 		case recn.MsgNotify:
-			u.net.rec.Record(trace.EvNotify, u.loc(), m.Path.Key(), 0, 0, 0)
+			u.sc.rec.Record(trace.EvNotify, u.loc(), m.Path.Key(), 0, 0, 0)
 		case recn.MsgXoff:
-			u.net.rec.Record(trace.EvXoff, u.loc(), m.Path.Key(), 0, 0, 0)
+			u.sc.rec.Record(trace.EvXoff, u.loc(), m.Path.Key(), 0, 0, 0)
 		case recn.MsgXon:
-			u.net.rec.Record(trace.EvXon, u.loc(), m.Path.Key(), 0, 0, 0)
+			u.sc.rec.Record(trace.EvXon, u.loc(), m.Path.Key(), 0, 0, 0)
 		}
 	}
 	u.revCh.pushCtl(m)
@@ -350,11 +352,11 @@ func (u *ingressUnit) TokenToEgress(egress int, rest pkt.Path) {
 		u.net.fatalf(check.RuleInternal, u.loc(),
 			"token to unused port %d of switch %d", egress, u.sw.id)
 	}
-	if u.net.rec != nil {
+	if u.sc.rec != nil {
 		// Recorded at the receiving egress with the remaining path:
 		// `rest` is anchored exactly as that port's own SAQ paths are
 		// (empty = the port itself is the root).
-		u.net.rec.Record(trace.EvToken, ou.loc(), rest.Key(), 0, 1, 0)
+		u.sc.rec.Record(trace.EvToken, ou.loc(), rest.Key(), 0, 1, 0)
 	}
 	ou.rc.OnTokenFromIngress(u.port, rest)
 }

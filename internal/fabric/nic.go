@@ -53,6 +53,7 @@ func (q *hostQueue) pop() *pkt.Packet {
 // side consumes packets at link rate and returns credits.
 type NIC struct {
 	net  *Network
+	sc   *shardCtx
 	host int
 
 	attachSw   int
@@ -67,6 +68,7 @@ type NIC struct {
 	inj *egressUnit
 
 	seq    map[uint32]uint64 // (dst, class) → next sequence number
+	idSeq  uint64            // windowed-mode per-host packet ID counter
 	routes []pkt.Route
 
 	pumpScheduled bool
@@ -80,6 +82,7 @@ func newNIC(net *Network, host int) *NIC {
 	sw, port := net.topo.HostAttach(host)
 	nic := &NIC{
 		net:        net,
+		sc:         net.base,
 		host:       host,
 		attachSw:   sw,
 		attachPort: port,
@@ -131,13 +134,13 @@ func (nic *NIC) injectMessage(dst, size int, class uint8) error {
 	// admittance queue is already at the cap (the whole message is
 	// accepted when below it, so messages larger than the cap work).
 	if cap := nic.net.cfg.AdmitCap; cap > 0 && nic.admitBytes[dst] >= cap {
-		nic.net.DroppedMessages++
-		if nic.net.rec != nil {
-			nic.net.rec.Record(trace.EvDrop, nic.inj.loc(), "", int64(dst), int64(size), 0)
+		nic.sc.cnt.DroppedMessages++
+		if nic.sc.rec != nil {
+			nic.sc.rec.Record(trace.EvDrop, nic.inj.loc(), "", int64(dst), int64(size), 0)
 		}
 		return nil
 	}
-	now := nic.net.Engine.Now()
+	now := nic.sc.eng.Now()
 	pktSize := nic.net.cfg.PacketSize
 	seqKey := uint32(dst)<<8 | uint32(class)
 	for rem := size; rem > 0; rem -= pktSize {
@@ -145,11 +148,21 @@ func (nic *NIC) injectMessage(dst, size int, class uint8) error {
 		if rem < sz {
 			sz = rem
 		}
-		nic.net.pktSeq++
+		var id uint64
+		if nic.sc.sharded {
+			// Windowed mode: a global injection counter would depend on
+			// the shard interleaving. Per-host IDs depend only on this
+			// host's own injection stream, which is shard-count-invariant.
+			nic.idSeq++
+			id = uint64(nic.host+1)<<40 | nic.idSeq
+		} else {
+			nic.sc.pktSeq++
+			id = nic.sc.pktSeq
+		}
 		nic.seq[seqKey]++
-		p := nic.net.pktPool.Get()
+		p := nic.sc.pktPool.Get()
 		*p = pkt.Packet{
-			ID:        nic.net.pktSeq,
+			ID:        id,
 			Src:       nic.host,
 			Dst:       dst,
 			Size:      sz,
@@ -162,8 +175,8 @@ func (nic *NIC) injectMessage(dst, size int, class uint8) error {
 		nic.admitBytes[dst] += sz
 		nic.active.add(dst)
 		nic.backlog++
-		nic.net.InjectedPackets++
-		nic.net.InjectedBytes += uint64(sz)
+		nic.sc.cnt.InjectedPackets++
+		nic.sc.cnt.InjectedBytes += uint64(sz)
 	}
 	nic.pump()
 	return nil
@@ -177,7 +190,7 @@ func (nic *NIC) pump() {
 		return
 	}
 	nic.pumpScheduled = true
-	nic.net.Engine.Schedule(nic.net.Engine.Now(), nic.runPumpFn)
+	nic.sc.eng.Schedule(nic.sc.eng.Now(), nic.runPumpFn)
 }
 
 func (nic *NIC) runPump() {
@@ -205,7 +218,7 @@ func (nic *NIC) runPump() {
 			nic.admitBytes[idx] -= p.Size
 			nic.backlog--
 			nic.rr++
-			p.InjectedAt = nic.net.Engine.Now()
+			p.InjectedAt = nic.sc.eng.Now()
 			nic.inj.storePacket(p, -1)
 			moved = true
 		}
@@ -221,11 +234,11 @@ func (nic *NIC) runPump() {
 // and the buffer credit returns to the last switch. deliver recycles
 // the packet, so the credit size is copied out first.
 func (nic *NIC) arriveData(p *pkt.Packet) {
-	if nic.net.rec != nil {
-		nic.net.rec.RecordPacket(trace.EvRecv, nic.hostLoc(), p.ID, p.Size, p.Src, p.Dst)
+	if nic.sc.rec != nil {
+		nic.sc.rec.RecordPacket(trace.EvRecv, nic.hostLoc(), p.ID, p.Size, p.Src, p.Dst)
 	}
 	size := p.Size
-	nic.net.deliver(p)
+	nic.sc.deliver(p)
 	nic.inj.ch.pushCredit(size, -1)
 }
 
@@ -245,7 +258,7 @@ func (nic *NIC) arriveCtl(m recn.CtlMsg) {
 		// A marker may now sit in the injection normal queue; run the
 		// arbiter so it gets peeled even with no new injections.
 		nic.inj.ch.kick()
-		nic.net.scheduleSweep()
+		nic.sc.scheduleSweep()
 	case recn.MsgXoff:
 		nic.inj.rc.OnXoffFromDownstream(m.Path)
 	case recn.MsgXon:

@@ -1,54 +1,69 @@
 package fabric
 
-// This file holds the Network's event-record free-lists. Together with
+// This file holds the per-shard event-record free-lists. Together with
 // the packet pool they make the steady-state hot path allocation-free:
-// every record scheduled into the engine (transmission origins, control
-// arrivals, crossbar transfers) is recycled when its event fires.
+// every record scheduled into an engine (transmission origins, control
+// arrivals, crossbar transfers, boundary-mailbox deliveries) is
+// recycled when its event fires.
 //
-// All lists are plain LIFO slices, deliberately not sync.Pool: the
-// simulation is single-goroutine per engine, and sync.Pool's
-// GC-coupled eviction would make reuse patterns (and therefore any
-// accidental stale-pointer bug) timing-dependent instead of
-// reproducible.
+// All lists are plain LIFO slices, deliberately not sync.Pool: each
+// list is owned by exactly one shard context (one goroutine between
+// barriers), and sync.Pool's GC-coupled eviction would make reuse
+// patterns (and therefore any accidental stale-pointer bug)
+// timing-dependent instead of reproducible.
 
-func (n *Network) allocOrigin() *txOrigin {
-	if k := len(n.origins); k > 0 {
-		o := n.origins[k-1]
-		n.origins = n.origins[:k-1]
+func (sc *shardCtx) allocOrigin() *txOrigin {
+	if k := len(sc.origins); k > 0 {
+		o := sc.origins[k-1]
+		sc.origins = sc.origins[:k-1]
 		return o
 	}
 	return &txOrigin{}
 }
 
-func (n *Network) freeOrigin(o *txOrigin) {
+func (sc *shardCtx) freeOrigin(o *txOrigin) {
 	*o = txOrigin{}
-	n.origins = append(n.origins, o)
+	sc.origins = append(sc.origins, o)
 }
 
-func (n *Network) allocCtlEv() *ctlEv {
-	if k := len(n.ctlEvs); k > 0 {
-		ev := n.ctlEvs[k-1]
-		n.ctlEvs = n.ctlEvs[:k-1]
+func (sc *shardCtx) allocCtlEv() *ctlEv {
+	if k := len(sc.ctlEvs); k > 0 {
+		ev := sc.ctlEvs[k-1]
+		sc.ctlEvs = sc.ctlEvs[:k-1]
 		return ev
 	}
 	return &ctlEv{}
 }
 
-func (n *Network) freeCtlEv(ev *ctlEv) {
+func (sc *shardCtx) freeCtlEv(ev *ctlEv) {
 	*ev = ctlEv{}
-	n.ctlEvs = append(n.ctlEvs, ev)
+	sc.ctlEvs = append(sc.ctlEvs, ev)
 }
 
-func (n *Network) allocXfer() *xferRec {
-	if k := len(n.xfers); k > 0 {
-		x := n.xfers[k-1]
-		n.xfers = n.xfers[:k-1]
+func (sc *shardCtx) allocXfer() *xferRec {
+	if k := len(sc.xfers); k > 0 {
+		x := sc.xfers[k-1]
+		sc.xfers = sc.xfers[:k-1]
 		return x
 	}
 	return &xferRec{}
 }
 
-func (n *Network) freeXfer(x *xferRec) {
+func (sc *shardCtx) freeXfer(x *xferRec) {
 	*x = xferRec{}
-	n.xfers = append(n.xfers, x)
+	sc.xfers = append(sc.xfers, x)
+}
+
+func (sc *shardCtx) allocMail() *mailRec {
+	if k := len(sc.mails); k > 0 {
+		m := sc.mails[k-1]
+		sc.mails = sc.mails[:k-1]
+		return m
+	}
+	return &mailRec{}
+}
+
+func (sc *shardCtx) freeMail(m *mailRec) {
+	*m = mailRec{}
+	sc.mails = append(sc.mails, m)
 }

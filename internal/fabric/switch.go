@@ -17,6 +17,7 @@ import (
 // both lanes and the output buffer are available.
 type Switch struct {
 	net *Network
+	sc  *shardCtx
 	id  int
 
 	in  []*ingressUnit // nil entries for unused ports
@@ -31,6 +32,7 @@ func newSwitch(net *Network, id int) *Switch {
 	ports := topo.PortsPerSwitch()
 	sw := &Switch{
 		net:     net,
+		sc:      net.base,
 		id:      id,
 		in:      make([]*ingressUnit, ports),
 		out:     make([]*egressUnit, ports),
@@ -114,8 +116,8 @@ type xferRec struct {
 func xferDoneEvent(arg any) {
 	x := arg.(*xferRec)
 	sw, in, h, s, p, out := x.sw, x.in, x.h, x.s, x.p, x.out
-	sw.net.freeXfer(x)
-	sw.net.liveXfers--
+	sw.sc.freeXfer(x)
+	sw.sc.liveXfers--
 	sw.completeTransfer(in, h, s, p, out)
 }
 
@@ -135,10 +137,10 @@ func (sw *Switch) startTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *
 		in.active.remove(h.idx)
 	}
 	dur := units.CrossbarRate.Serialize(p.Size)
-	x := sw.net.allocXfer()
+	x := sw.sc.allocXfer()
 	x.sw, x.in, x.h, x.s, x.p, x.out = sw, in, h, s, p, out
-	sw.net.liveXfers++
-	sw.net.Engine.AfterArg(dur, xferDoneEvent, x)
+	sw.sc.liveXfers++
+	sw.sc.eng.AfterArg(dur, xferDoneEvent, x)
 }
 
 func (sw *Switch) completeTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *pkt.Packet, out int) {

@@ -66,6 +66,7 @@ func (n *Network) installTracer(rec *trace.Recorder) error {
 		return err
 	}
 	n.rec = rec
+	n.base.rec = rec
 	for _, sw := range n.switches {
 		for _, in := range sw.in {
 			if in != nil && in.rc != nil {

@@ -190,16 +190,16 @@ func (u *egressUnit) resyncCredit(counter *int, expected int, report *stats.Faul
 	if diff > 0 {
 		report.CreditResyncs++
 		report.CreditsRestored += uint64(diff)
-		if u.net.rec != nil {
-			u.net.rec.Record(trace.EvWatchdog, u.loc(), "", trace.WatchCreditResync, int64(diff), 0)
+		if u.sc.rec != nil {
+			u.sc.rec.Record(trace.EvWatchdog, u.loc(), "", trace.WatchCreditResync, int64(diff), 0)
 		}
 	} else {
 		report.CreditViolations++
-		if u.net.rec != nil {
-			u.net.rec.Record(trace.EvWatchdog, u.loc(), "", trace.WatchCreditViolation, int64(-diff), 0)
+		if u.sc.rec != nil {
+			u.sc.rec.Record(trace.EvWatchdog, u.loc(), "", trace.WatchCreditViolation, int64(-diff), 0)
 		}
 	}
 	*counter = expected
-	u.lastCreditAt = u.net.Engine.Now()
+	u.lastCreditAt = u.sc.eng.Now()
 	u.ch.kick()
 }

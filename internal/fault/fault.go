@@ -23,6 +23,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -142,9 +143,24 @@ func (p *Plan) Corrupt(every int) *Plan {
 	return p
 }
 
-// Validate reports configuration errors.
+// sortedKinds returns a fault-kind map's keys in ascending order, so
+// callers iterating a plan report the same first error on every run
+// (Go's map iteration order is deliberately randomized).
+func sortedKinds[V any](m map[Kind]V) []Kind {
+	kinds := make([]Kind, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// Validate reports configuration errors. With several errors present
+// the one reported is deterministic: rules are checked before scripted
+// drops, and each map is checked in ascending kind order.
 func (p *Plan) Validate() error {
-	for k, r := range p.Rules {
+	for _, k := range sortedKinds(p.Rules) {
+		r := p.Rules[k]
 		if k < 0 || k >= stats.NumFaultKinds {
 			return fmt.Errorf("fault: rule for unknown kind %d", int(k))
 		}
@@ -163,7 +179,8 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: credits cannot be duplicated (a forged credit would overflow the receiver RAM the losslessness invariant protects; model it as loss)")
 		}
 	}
-	for k, n := range p.DropNext {
+	for _, k := range sortedKinds(p.DropNext) {
+		n := p.DropNext[k]
 		if k < 0 || k >= stats.NumFaultKinds || k == Data {
 			return fmt.Errorf("fault: scripted drop for invalid kind %v", k)
 		}
@@ -237,6 +254,87 @@ func (p *Plan) CorruptData() bool {
 	p.dataSeen++
 	if p.CorruptEvery > 0 && p.dataSeen%p.CorruptEvery == 0 {
 		p.report.Corrupted++
+		return true
+	}
+	return false
+}
+
+// HasScriptedDrops reports whether the plan scripts exact drops
+// (DropNext). Scripted drops consume a network-wide transmission order
+// and therefore need the serial engine; the sharded runtime rejects
+// them.
+func (p *Plan) HasScriptedDrops() bool {
+	for _, n := range p.DropNext {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// View is a per-channel instance of a plan's probabilistic rules, used
+// by the sharded runtime: each channel draws from its own RNG stream
+// (derived from the plan seed and the channel's wiring-order ID) and
+// counts its own corruption cadence, so verdicts depend only on the
+// channel's local traffic — deterministic at any shard count. Scripted
+// drops are excluded (see HasScriptedDrops); note CorruptEvery counts
+// per channel here, not plan-wide as in the serial mode.
+type View struct {
+	p        *Plan
+	rng      *rand.Rand
+	report   *stats.FaultReport
+	dataSeen int
+}
+
+// View derives the per-channel rule instance for salt (the channel's
+// stable ID); report receives the injected-fault counters (the owning
+// shard's, merged after the run).
+func (p *Plan) View(salt int64, report *stats.FaultReport) *View {
+	return &View{
+		p:      p,
+		rng:    rand.New(rand.NewSource(mixSeed(p.Seed, salt))),
+		report: report,
+	}
+}
+
+// mixSeed decorrelates the per-channel streams: adjacent salts must
+// not yield adjacent (correlated) rand.Source states, so the pair is
+// run through a splitmix64 finalizer.
+func mixSeed(seed, salt int64) int64 {
+	z := uint64(seed) ^ (uint64(salt)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// CtlVerdict decides the fate of one control message of kind k on this
+// view's channel (probabilistic rules only; scripted drops are a
+// serial-mode feature).
+func (v *View) CtlVerdict(k Kind) Verdict {
+	r, ok := v.p.Rules[k]
+	if !ok || r.zero() {
+		return Verdict{}
+	}
+	switch {
+	case r.DropProb > 0 && v.rng.Float64() < r.DropProb:
+		v.report.Dropped[k]++
+		return Verdict{Drop: true}
+	case r.DupProb > 0 && v.rng.Float64() < r.DupProb:
+		v.report.Duplicated[k]++
+		return Verdict{Dup: true}
+	case r.DelayProb > 0 && v.rng.Float64() < r.DelayProb:
+		v.report.Delayed[k]++
+		return Verdict{Delay: r.Delay}
+	}
+	return Verdict{}
+}
+
+// CorruptData decides whether the next data packet on this view's
+// channel has its payload corrupted.
+func (v *View) CorruptData() bool {
+	v.dataSeen++
+	if v.p.CorruptEvery > 0 && v.dataSeen%v.p.CorruptEvery == 0 {
+		v.report.Corrupted++
 		return true
 	}
 	return false

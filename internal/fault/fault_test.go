@@ -75,6 +75,39 @@ func TestValidateRejectsUnsafeFaults(t *testing.T) {
 	}
 }
 
+// TestValidateFirstErrorDeterministic: a plan with several invalid
+// entries spread across both kind maps must report the same error on
+// every call. Validate used to iterate the maps directly, so the first
+// error depended on Go's randomized map order and the same broken
+// config produced different messages run to run — useless for error
+// goldens and confusing in CI logs. Rules are checked before scripted
+// drops, each map in ascending kind order, so the lowest-kind rule
+// error always wins.
+func TestValidateFirstErrorDeterministic(t *testing.T) {
+	build := func() *Plan {
+		return NewPlan(1).
+			Rule(Token, Rule{DropProb: 1.5}).
+			Rule(Xoff, Rule{DelayProb: -2}).
+			Rule(Notify, Rule{Delay: -1}).
+			Drop(Xon, -4).
+			Drop(Credit, -1)
+	}
+	first := build().Validate()
+	if first == nil {
+		t.Fatal("plan should be invalid")
+	}
+	// Token is the lowest kind with a broken rule, and rules outrank
+	// scripted drops.
+	if !strings.Contains(first.Error(), "token") || !strings.Contains(first.Error(), "outside [0, 1]") {
+		t.Fatalf("first error should be the token rule's probability, got %v", first)
+	}
+	for i := 0; i < 50; i++ {
+		if err := build().Validate(); err == nil || err.Error() != first.Error() {
+			t.Fatalf("call %d: Validate() = %v, want stable %v", i, err, first)
+		}
+	}
+}
+
 func TestBindIsSingleUse(t *testing.T) {
 	p := NewPlan(1)
 	var rep stats.FaultReport

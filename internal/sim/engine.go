@@ -119,6 +119,16 @@ type Engine struct {
 	free    []int32 // free-list of recs indices
 	stopped bool
 
+	// encode switches the engine into shard-sequence mode (see
+	// NewShardEngine): instead of a run-long counter, every scheduled
+	// event gets the composite sequence (scheduling-time << seqTimeShift)
+	// | per-instant counter, so the dispatch order of same-time events
+	// reflects *when* they were scheduled — a quantity that does not
+	// depend on how the simulation is partitioned across engines.
+	encode bool
+	encNow Time
+	encCnt uint64
+
 	// probe, when set, observes every dispatch as (time, scheduling
 	// sequence) before the callback runs. Test-only: the determinism
 	// regression suite uses it to pin the dispatch order.
@@ -137,6 +147,59 @@ func (e *Engine) SetDispatchProbe(fn func(at Time, seq uint64)) { e.probe = fn }
 
 // NewEngine returns an engine with its clock at zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// Shard-sequence encoding: the low seqCntBits bits are a per-instant
+// counter, the bit above them separates locally scheduled events (0)
+// from boundary-mailbox deliveries (1), and everything above is the
+// scheduling time in picoseconds. Same-instant events therefore
+// dispatch ordered by when they were scheduled, with mailbox arrivals
+// slotted after the local events of the same scheduling instant.
+const (
+	seqCntBits  = 23
+	seqTimeShift = seqCntBits + 1
+	// SeqMailboxBit marks a composite sequence as a boundary-mailbox
+	// delivery (see ScheduleExt callers in internal/fabric).
+	SeqMailboxBit = uint64(1) << seqCntBits
+	// MaxShardTime bounds the simulation horizon of a shard engine: the
+	// scheduling time must fit the bits above the counter field.
+	MaxShardTime = Time(1)<<(63-seqTimeShift) - 1
+)
+
+// NewShardEngine returns an engine for one shard of a partitioned
+// simulation. It differs from NewEngine only in sequence assignment
+// (composite scheduling-time sequences, see above); scheduling API,
+// dispatch loop and determinism guarantees are identical.
+func NewShardEngine() *Engine { return &Engine{encode: true} }
+
+// ComposeSeq builds the composite sequence for a boundary-mailbox
+// delivery scheduled by the window runner: sendAt is the instant the
+// message was transmitted (its scheduling time), idx the delivery's
+// rank among same-(arrival, sendAt) mailbox messages.
+func ComposeSeq(sendAt Time, idx uint64) uint64 {
+	return uint64(sendAt)<<seqTimeShift | SeqMailboxBit | idx
+}
+
+// NextAt returns the time of the earliest pending event.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything.
+// The window runner uses it so coordinator-driven work scheduled "now"
+// carries the barrier's timestamp; t must not rewind the clock or skip
+// pending events.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo rewinds the clock (now=%v, t=%v)", e.now, t))
+	}
+	if len(e.events) > 0 && e.events[0].at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip a pending event at %v", t, e.events[0].at))
+	}
+	e.now = t
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -215,8 +278,41 @@ func (e *Engine) schedule(at Time, rec int32) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (now=%v, at=%v)", e.now, at))
 	}
-	e.seq++
-	e.push(evNode{at: at, seq: e.seq, rec: rec})
+	var seq uint64
+	if e.encode {
+		if e.now != e.encNow {
+			e.encNow, e.encCnt = e.now, 0
+		}
+		if e.now > MaxShardTime {
+			panic(fmt.Sprintf("sim: shard engine past the encodable horizon (now=%v, max %v)", e.now, MaxShardTime))
+		}
+		if e.encCnt >= SeqMailboxBit {
+			panic(fmt.Sprintf("sim: over %d events scheduled at %v on one shard", SeqMailboxBit, e.now))
+		}
+		seq = uint64(e.now)<<seqTimeShift | e.encCnt
+		e.encCnt++
+	} else {
+		e.seq++
+		seq = e.seq
+	}
+	e.push(evNode{at: at, seq: seq, rec: rec})
+}
+
+// ScheduleExt runs fn(arg) at time at with an explicit, caller-built
+// sequence. Only meaningful on shard engines: the window runner uses it
+// to deliver boundary-mailbox messages with ComposeSeq sequences so
+// they interleave deterministically with locally scheduled events.
+func (e *Engine) ScheduleExt(at Time, seq uint64, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: ScheduleExt called with nil fn")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleExt into the past (now=%v, at=%v)", e.now, at))
+	}
+	r := e.allocRec()
+	e.recs[r].afn = fn
+	e.recs[r].arg = arg
+	e.push(evNode{at: at, seq: seq, rec: r})
 }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics:

@@ -1,0 +1,91 @@
+package sim
+
+// ShardGroup drives one worker goroutine per shard engine for
+// window-synchronized parallel simulation. The caller (the fabric's
+// window runner) alternates between Step — which runs every engine up
+// to a common horizon concurrently and blocks until all of them reach
+// it — and single-threaded barrier work (mailbox delivery, global
+// events, counter aggregation) done between steps.
+//
+// Channel sends establish the happens-before edges: everything the
+// caller wrote before Step (mailbox deliveries scheduled into a shard's
+// heap, state mutated by barrier-time global events) is visible to the
+// worker, and everything a worker wrote during its window is visible to
+// the caller when Step returns. No other synchronization exists, which
+// is exactly why the model may only share state across shards at
+// barriers.
+type ShardGroup struct {
+	engines []*Engine
+	cmd     []chan Time
+	done    chan shardDone
+	closed  bool
+}
+
+type shardDone struct {
+	idx      int
+	panicked any
+}
+
+// NewShardGroup starts one worker per engine. Close must be called to
+// release the workers.
+func NewShardGroup(engines []*Engine) *ShardGroup {
+	g := &ShardGroup{
+		engines: engines,
+		cmd:     make([]chan Time, len(engines)),
+		done:    make(chan shardDone, len(engines)),
+	}
+	for i := range engines {
+		g.cmd[i] = make(chan Time)
+		go g.worker(i)
+	}
+	return g
+}
+
+func (g *ShardGroup) worker(i int) {
+	eng := g.engines[i]
+	for until := range g.cmd[i] {
+		func() {
+			defer func() {
+				g.done <- shardDone{idx: i, panicked: recover()}
+			}()
+			eng.Run(until)
+		}()
+	}
+}
+
+// Step runs every engine to the horizon concurrently and returns when
+// all have reached it. A panic on any worker (for example an invariant
+// Violation thrown by the runtime checker) is re-raised on the calling
+// goroutine; when several shards panic in one window, the lowest shard
+// index wins so the surfaced failure is deterministic.
+func (g *ShardGroup) Step(until Time) {
+	if g.closed {
+		panic("sim: Step on a closed ShardGroup")
+	}
+	for _, c := range g.cmd {
+		c <- until
+	}
+	var panicked any
+	panicIdx := len(g.engines)
+	for range g.engines {
+		d := <-g.done
+		if d.panicked != nil && d.idx < panicIdx {
+			panicked, panicIdx = d.panicked, d.idx
+		}
+	}
+	if panicked != nil {
+		g.Close()
+		panic(panicked)
+	}
+}
+
+// Close stops the workers. The group cannot be reused.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, c := range g.cmd {
+		close(c)
+	}
+}

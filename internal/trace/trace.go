@@ -338,6 +338,7 @@ type Recorder struct {
 
 	ring  []Event
 	total uint64
+	lost  uint64 // events the merge sources had already overwritten
 
 	metrics *Metrics
 }
@@ -383,6 +384,10 @@ func (r *Recorder) Bind(eng *sim.Engine, resolve func(Loc, string) string) error
 // Enabled reports whether kind k is being recorded.
 func (r *Recorder) Enabled(k EventKind) bool { return r.mask.Has(k) }
 
+// Config returns the recorder's effective configuration (defaults
+// applied).
+func (r *Recorder) Config() Config { return r.cfg }
+
 // MetricsBin returns the metrics sampling period (0 = disabled).
 func (r *Recorder) MetricsBin() sim.Time { return r.cfg.MetricsBin }
 
@@ -414,15 +419,16 @@ func (r *Recorder) RecordPacket(k EventKind, loc Loc, id uint64, size, src, dst 
 }
 
 // Total returns how many events were recorded over the recorder's
-// lifetime, including ones the ring has since overwritten.
-func (r *Recorder) Total() uint64 { return r.total }
+// lifetime, including ones the ring has since overwritten (and, for a
+// merged recorder, ones its sources had already lost).
+func (r *Recorder) Total() uint64 { return r.total + r.lost }
 
 // Overwritten returns how many recorded events the ring lost.
 func (r *Recorder) Overwritten() uint64 {
 	if n := uint64(len(r.ring)); r.total > n {
-		return r.total - n
+		return r.total - n + r.lost
 	}
-	return 0
+	return r.lost
 }
 
 // Len returns the number of events currently held.
@@ -456,6 +462,54 @@ func (r *Recorder) RootOf(e Event) string {
 		return r.resolve(e.Loc, e.Tag)
 	}
 	return e.Loc.String() + "/" + PathString(e.Tag)
+}
+
+// Merge combines the retained events of several recorders (typically
+// one per simulation shard plus the coordinator) into a fresh recorder,
+// ordered by (At, part index, Seq): events from the same part keep
+// their recording order, and simultaneous events from different parts
+// order by part index — deterministic for a fixed part list. The merged
+// recorder carries the first part's engine, resolver and metrics
+// registry, and its Total/Overwritten account for events the source
+// rings had already lost.
+func Merge(cfg Config, parts ...*Recorder) *Recorder {
+	type tagged struct {
+		ev   Event
+		part int
+	}
+	var all []tagged
+	var lost uint64
+	for pi, p := range parts {
+		for _, ev := range p.Events() {
+			all = append(all, tagged{ev, pi})
+		}
+		lost += p.Overwritten()
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.At != all[j].ev.At {
+			return all[i].ev.At < all[j].ev.At
+		}
+		if all[i].part != all[j].part {
+			return all[i].part < all[j].part
+		}
+		return all[i].ev.Seq < all[j].ev.Seq
+	})
+	n := len(all)
+	if n == 0 {
+		n = 1
+	}
+	m := &Recorder{cfg: cfg, mask: cfg.Events, ring: make([]Event, n), lost: lost}
+	if len(parts) > 0 {
+		m.eng = parts[0].eng
+		m.resolve = parts[0].resolve
+		m.metrics = parts[0].metrics
+	}
+	for i := range all {
+		m.total++
+		all[i].ev.Seq = m.total
+		m.ring[i] = all[i].ev
+	}
+	return m
 }
 
 // sortedNames returns map keys in deterministic order.

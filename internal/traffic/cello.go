@@ -82,6 +82,7 @@ func (c Cello) Install(net Network) error {
 
 	for h := 0; h < hosts; h++ {
 		h := h
+		hv := hostView(net, h)
 		rng := rand.New(rand.NewSource(c.Seed + int64(h)*6151))
 		zipf := newZipf(rng, perm, 1.6)
 		compress := func(t sim.Time) sim.Time {
@@ -90,7 +91,7 @@ func (c Cello) Install(net Network) error {
 		var burst func(left int)
 		var think func()
 		burst = func(left int) {
-			if net.Now() >= c.Duration {
+			if hv.Now() >= c.Duration {
 				return
 			}
 			disk := diskID(zipf())
@@ -99,39 +100,44 @@ func (c Cello) Install(net Network) error {
 			// and form congestion trees inside the fabric.
 			read := rng.Float64() < 1.0/3.0
 			size := transferSize(rng)
+			// The disk's response runs on the disk's own engine
+			// (scheduleOn mailboxes it in sharded runs); the reply
+			// injection itself must use the disk's view, resolved here
+			// once rather than per reply.
+			dv := hostView(net, disk)
 			if read {
 				// Small command to the disk; bulk reply later.
-				net.Inject(h, disk, 512)
+				hv.Inject(h, disk, 512)
 				svc := c.ServiceTime/2 + sim.Time(rng.Int63n(int64(c.ServiceTime)))
-				net.Schedule(net.Now()+compress(svc), func() {
-					net.Inject(disk, h, size)
+				scheduleOn(net, h, disk, hv.Now()+compress(svc), func() {
+					dv.Inject(disk, h, size)
 				})
 			} else {
 				// Bulk write; small acknowledgment later.
-				net.Inject(h, disk, size)
+				hv.Inject(h, disk, size)
 				svc := c.ServiceTime/2 + sim.Time(rng.Int63n(int64(c.ServiceTime)))
-				net.Schedule(net.Now()+compress(svc), func() {
-					net.Inject(disk, h, 64)
+				scheduleOn(net, h, disk, hv.Now()+compress(svc), func() {
+					dv.Inject(disk, h, 64)
 				})
 			}
 			if left > 1 {
 				// Requests within a burst are closely spaced.
 				gap := sim.Time(rng.ExpFloat64() * 1.5 * float64(sim.Microsecond))
-				net.Schedule(net.Now()+compress(gap), func() { burst(left - 1) })
+				hv.Schedule(hv.Now()+compress(gap), func() { burst(left - 1) })
 			} else {
 				think()
 			}
 		}
 		think = func() {
-			if net.Now() >= c.Duration {
+			if hv.Now() >= c.Duration {
 				return
 			}
 			off := sim.Time(rng.ExpFloat64() * float64(c.ThinkTime))
 			n := 1 + int(rng.ExpFloat64()*c.BurstMean)
-			net.Schedule(net.Now()+compress(off), func() { burst(n) })
+			hv.Schedule(hv.Now()+compress(off), func() { burst(n) })
 		}
 		// Random initial phase so hosts do not synchronize.
-		net.Schedule(compress(sim.Time(rng.Int63n(int64(c.ThinkTime)))), think)
+		hv.Schedule(compress(sim.Time(rng.Int63n(int64(c.ThinkTime)))), think)
 	}
 	return nil
 }

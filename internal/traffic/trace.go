@@ -104,8 +104,9 @@ func (rp Replay) Install(net Network) error {
 	}
 	for _, r := range rp.Trace {
 		r := r
-		net.Schedule(sim.Time(float64(r.T)/rp.Compression), func() {
-			net.Inject(r.Src, r.Dst, r.Size)
+		hv := hostView(net, r.Src)
+		hv.Schedule(sim.Time(float64(r.T)/rp.Compression), func() {
+			hv.Inject(r.Src, r.Dst, r.Size)
 		})
 	}
 	return nil

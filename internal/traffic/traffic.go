@@ -27,6 +27,36 @@ type Network interface {
 	Inject(src, dst, size int)
 }
 
+// HostNetwork is an optional Network extension the sharded runtime
+// implements: HostView returns a per-host injection surface whose Now,
+// Schedule and Inject run on the engine that simulates the host, and
+// ScheduleOn schedules fn on another host's engine (mailboxed at a
+// window boundary — for deferred replies like Cello's disk responses).
+// Generators resolve the extension through hostView/scheduleOn, which
+// fall back to the plain Network, so serial runs are untouched.
+type HostNetwork interface {
+	Network
+	HostView(host int) Network
+	ScheduleOn(caller, host int, at sim.Time, fn func())
+}
+
+// hostView returns the injection surface for one host's stream.
+func hostView(net Network, host int) Network {
+	if hn, ok := net.(HostNetwork); ok {
+		return hn.HostView(host)
+	}
+	return net
+}
+
+// scheduleOn schedules fn on host's engine from caller's stream.
+func scheduleOn(net Network, caller, host int, at sim.Time, fn func()) {
+	if hn, ok := net.(HostNetwork); ok {
+		hn.ScheduleOn(caller, host, at, fn)
+		return
+	}
+	net.Schedule(at, fn)
+}
+
 // Uniform injects fixed-size messages from each source to uniformly
 // random destinations at a fraction of the link rate. Injection is
 // deterministic-rate (back-to-back at Rate 1.0) with a random initial
@@ -57,21 +87,22 @@ func (u Uniform) Install(net Network) error {
 	gap := interMessageGap(u.MsgSize, u.Rate)
 	for i, src := range u.Sources {
 		src := src
+		hv := hostView(net, src)
 		rng := rand.New(rand.NewSource(u.Seed + int64(i)*7919))
 		var gen func()
 		gen = func() {
-			if u.End != 0 && net.Now() >= u.End {
+			if u.End != 0 && hv.Now() >= u.End {
 				return
 			}
-			dst := rng.Intn(net.Hosts() - 1)
+			dst := rng.Intn(hv.Hosts() - 1)
 			if dst >= src {
 				dst++
 			}
-			net.Inject(src, dst, u.MsgSize)
-			net.Schedule(net.Now()+gap, gen)
+			hv.Inject(src, dst, u.MsgSize)
+			hv.Schedule(hv.Now()+gap, gen)
 		}
 		phase := sim.Time(rng.Int63n(int64(gap) + 1))
-		net.Schedule(u.Start+phase, gen)
+		hv.Schedule(u.Start+phase, gen)
 	}
 	return nil
 }
@@ -101,17 +132,18 @@ func (h Hotspot) Install(net Network) error {
 		if src == h.Dest {
 			return fmt.Errorf("traffic: hotspot source %d equals destination", src)
 		}
+		hv := hostView(net, src)
 		rng := rand.New(rand.NewSource(h.Seed + int64(i)*104729))
 		var gen func()
 		gen = func() {
-			if h.End != 0 && net.Now() >= h.End {
+			if h.End != 0 && hv.Now() >= h.End {
 				return
 			}
-			net.Inject(src, h.Dest, h.MsgSize)
-			net.Schedule(net.Now()+gap, gen)
+			hv.Inject(src, h.Dest, h.MsgSize)
+			hv.Schedule(hv.Now()+gap, gen)
 		}
 		phase := sim.Time(rng.Int63n(int64(gap) + 1))
-		net.Schedule(h.Start+phase, gen)
+		hv.Schedule(h.Start+phase, gen)
 	}
 	return nil
 }

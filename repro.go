@@ -70,6 +70,10 @@ type (
 	// RunCache is the on-disk run-result cache used by Sweep, keyed by
 	// Run.SpecHash (enable it with Options.CacheDir).
 	RunCache = experiments.RunCache
+	// CacheSummary is one sweep's run-cache accounting (hits, misses and
+	// the store failures a sweep does not fail on), delivered through
+	// Options.OnCacheSummary.
+	CacheSummary = experiments.CacheSummary
 	// RunReport is the serializable, mergeable form of a Result
 	// (Result.Report / ResultFromReport convert between the two).
 	RunReport = stats.Report
@@ -293,7 +297,10 @@ func InstallCello(net *Network, compression float64) error {
 	return traffic.DefaultCello(compression).Install(adapter{net})
 }
 
-// adapter exposes a Network to the traffic generators.
+// adapter exposes a Network to the traffic generators. It implements
+// traffic.HostNetwork so workloads installed on a sharded network run
+// each source on its host's shard engine; on a serial network both
+// extra methods collapse to the plain adapter.
 type adapter struct{ n *Network }
 
 func (a adapter) Hosts() int                  { return a.n.Topology().NumHosts() }
@@ -304,6 +311,27 @@ func (a adapter) Inject(src, dst, size int) {
 		panic(err)
 	}
 }
+
+func (a adapter) HostView(host int) traffic.Network {
+	if a.n.ShardCount() == 0 {
+		return a
+	}
+	return shardHostAdapter{adapter: a, eng: a.n.ShardEngine(a.n.HostShard(host))}
+}
+
+func (a adapter) ScheduleOn(caller, host int, at Time, fn func()) {
+	a.n.ScheduleRemote(caller, host, at, fn)
+}
+
+// shardHostAdapter is one host's view of a sharded network: time and
+// scheduling come from the host's shard engine.
+type shardHostAdapter struct {
+	adapter
+	eng *sim.Engine
+}
+
+func (a shardHostAdapter) Now() Time                   { return a.eng.Now() }
+func (a shardHostAdapter) Schedule(at Time, fn func()) { a.eng.Schedule(at, fn) }
 
 // GenerateCelloTrace synthesizes the cello-model SAN workload as a
 // replayable trace at time compression `compression`: message
