@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix
+.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix server-smoke
 
 all: build test
 
@@ -40,6 +40,13 @@ bench-guard:
 bench-shards:
 	BENCH_SHARDS_JSON=BENCH_PR7.json $(GO) test -run TestEmitShardBench -v .
 	BENCH_SHARDS_BASELINE=BENCH_PR5.json $(GO) test -run TestShardBenchGuard -v .
+
+# The sweep daemon end-to-end: start recnserved, submit a small figure
+# sweep over HTTP, poll to completion, diff the fetched results against
+# the recnsweep byte stream, exercise one admission-rejection path and
+# the cache-hit resubmit, then SIGTERM-drain (same script CI runs).
+server-smoke:
+	./scripts/server-smoke.sh
 
 # The windowed runtime's bit-identity matrix under the race detector:
 # shard validation, report/figure identity across shard counts, and the

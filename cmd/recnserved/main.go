@@ -1,0 +1,70 @@
+// Command recnserved is the sweep-as-a-service daemon: it serves an
+// HTTP/JSON API over a bounded, admission-controlled job queue that
+// drains into the parallel sweep engine, backed by the content-
+// addressed run cache so repeat submissions are cache hits.
+//
+// Usage:
+//
+//	recnserved -addr :8080 -cache ~/.cache/recn -queue-cap 64 -max-runs 64
+//
+// Submit, poll, fetch and stream:
+//
+//	curl -X POST localhost:8080/v1/sweeps -d '{"figures":["2a"],"scale":0.05}'
+//	curl localhost:8080/v1/sweeps/s000001
+//	curl localhost:8080/v1/sweeps/s000001/results
+//	curl -N localhost:8080/v1/sweeps/s000001/events
+//	curl localhost:8080/metrics
+//
+// SIGTERM/SIGINT drains in-flight jobs, persists still-queued jobs to
+// the state file (default <cache>/queue.json), and exits; a restart
+// re-enqueues them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		cache    = flag.String("cache", "", "run-result cache directory (created if missing); also enables GET /v1/runs/{key} and default queue-state persistence")
+		queueCap = flag.Int("queue-cap", 64, "bounded job-queue capacity; submissions beyond it are rejected with 429 queue_full")
+		workers  = flag.Int("workers", 1, "concurrent jobs (jobs start in FIFO order regardless)")
+		maxRuns  = flag.Int("max-runs", 64, "per-request admission limit on estimated simulation count (413 too_many_runs)")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "per-job sweep parallelism")
+		state    = flag.String("state", "", "queue-state persistence file (default <cache>/queue.json; empty without -cache = no persistence)")
+		drain    = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for in-flight jobs before canceling them")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "recnserved: ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := repro.Serve(ctx, repro.ServerConfig{
+		Addr:          *addr,
+		CacheDir:      *cache,
+		QueueCap:      *queueCap,
+		Workers:       *workers,
+		MaxRunsPerJob: *maxRuns,
+		Parallelism:   *j,
+		StateFile:     *state,
+		DrainTimeout:  *drain,
+		Logf:          logger.Printf,
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "recnserved: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -11,20 +11,29 @@
 //	recnsweep -sweep threshold [-kb 4,8,16,32,64]
 //	recnsweep -sweep boost
 //	recnsweep -sweep markers
+//	recnsweep -sweep 2a                  # any figure ID (see -sweep list)
 //	recnsweep -sweep all -j $(nproc) [-cache ~/.cache/recn]
 //
 // With -cache DIR, run results are cached by a stable hash of each
 // run's spec: re-rendering after changing one knob re-simulates only
 // the runs whose spec changed. -no-cache bypasses the cache.
+//
+// Ctrl-C (or SIGTERM) interrupts a sweep cleanly: in-flight runs stop
+// at the next cancellation point and recnsweep exits 130 without
+// printing partial tables.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/prof"
@@ -32,7 +41,7 @@ import (
 
 func main() {
 	var (
-		sweep   = flag.String("sweep", "saqs", "sweep to run: saqs, threshold, boost, markers, all")
+		sweep   = flag.String("sweep", "saqs", "sweep to run: saqs, threshold, boost, markers, all, list, or any figure ID (2a, lat1, ...)")
 		counts  = flag.String("counts", "", "comma-separated SAQ counts (saqs sweep)")
 		kb      = flag.String("kb", "", "comma-separated detection thresholds in KB (threshold sweep)")
 		scale   = flag.Float64("scale", 0.25, "time scale (1.0 = paper durations)")
@@ -46,8 +55,12 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	)
 	flag.Parse()
+	if *sweep == "list" {
+		fmt.Println(strings.Join(repro.FigureIDs(), "\n"))
+		return
+	}
 	// All flag validation happens before any simulation starts.
-	if err := validateFlags(*j, *shards, *cache); err != nil {
+	if err := validateFlags(*sweep, *j, *shards, *cache); err != nil {
 		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
 		os.Exit(2)
 	}
@@ -62,7 +75,12 @@ func main() {
 			os.Exit(1)
 		}
 	}()
-	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk}
+	// Ctrl-C/SIGTERM cancels the sweep context: workers stop picking up
+	// runs, in-flight serial runs stop at the next engine chunk, and the
+	// sweep returns ErrCanceled (handled by fail below).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk, Context: ctx}
 	// A failed cache write does not fail a sweep (the result is fresh
 	// and correct), but it must not pass silently either: without the
 	// warning a full disk or revoked permission would quietly
@@ -88,15 +106,21 @@ func main() {
 		for _, fid := range repro.FigureIDs() {
 			tables, err := repro.Reproduce(fid, o)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "recnsweep: %s: %v\n", fid, err)
-				os.Exit(1)
+				fail(fmt.Sprintf("%s: ", fid), err)
 			}
 			printTables(tables)
 		}
 		return
 	default:
-		fmt.Fprintf(os.Stderr, "recnsweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		// Any figure ID runs directly: `recnsweep -sweep 2a` produces
+		// the same bytes the daemon's results endpoint serves for a
+		// {"figures":["2a"]} submission.
+		if !repro.KnownFigure(*sweep) {
+			fmt.Fprintf(os.Stderr, "recnsweep: unknown sweep %q (want saqs, threshold, boost, markers, all, list, or a figure ID: %s)\n",
+				*sweep, strings.Join(repro.FigureIDs(), ", "))
+			os.Exit(2)
+		}
+		id = *sweep
 	}
 
 	// Custom sweep values go through the experiment package's
@@ -111,21 +135,33 @@ func main() {
 		tables, err = repro.Reproduce(id, o)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
-		os.Exit(1)
+		fail("", err)
 	}
 	printTables(tables)
 }
 
-// validateFlags rejects a bad worker count, shard count or an unusable
-// cache directory up front, naming the offending flag; nothing
-// simulates until all pass.
-func validateFlags(j, shards int, cacheDir string) error {
+// fail reports a sweep error and exits: 130 (the conventional
+// 128+SIGINT code) when the sweep was interrupted, 1 otherwise.
+func fail(prefix string, err error) {
+	fmt.Fprintf(os.Stderr, "recnsweep: %s%v\n", prefix, err)
+	if errors.Is(err, repro.ErrCanceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}
+
+// validateFlags rejects a bad worker count, shard count, an unusable
+// cache directory, or a shards/latency-figure combination up front,
+// naming the offending flag; nothing simulates until all pass.
+func validateFlags(sweep string, j, shards int, cacheDir string) error {
 	if j < 1 {
 		return fmt.Errorf("-j %d: want at least 1 worker", j)
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards %d: want 0 (serial) or a positive shard count", shards)
+	}
+	if shards > 0 && sweepHasLatency(sweep) {
+		return fmt.Errorf("-shards %d: latency figures (lat1/lat2) need the serial per-packet Observe path; drop -shards or pick a non-latency sweep", shards)
 	}
 	if cacheDir != "" {
 		if _, err := repro.OpenRunCache(cacheDir); err != nil {
@@ -135,10 +171,18 @@ func validateFlags(j, shards int, cacheDir string) error {
 	return nil
 }
 
-func printTables(tables []*repro.Table) {
-	for _, t := range tables {
-		t.Fprint(os.Stdout)
+// sweepHasLatency reports whether a sweep selection includes the
+// latency figures, which cannot run on the sharded runtime.
+func sweepHasLatency(sweep string) bool {
+	switch strings.ToLower(sweep) {
+	case "all", "figures", "lat1", "lat2":
+		return true
 	}
+	return false
+}
+
+func printTables(tables []*repro.Table) {
+	repro.FprintTables(os.Stdout, tables)
 }
 
 func parseInts(s string, mult int) []int {

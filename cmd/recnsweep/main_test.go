@@ -11,7 +11,7 @@ import (
 // offending flag (the style of recnsim's -policies check).
 func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
 	for _, j := range []int{0, -1, -8} {
-		err := validateFlags(j, 0, "")
+		err := validateFlags("saqs", j, 0, "")
 		if err == nil {
 			t.Errorf("validateFlags(j=%d) accepted", j)
 			continue
@@ -23,12 +23,34 @@ func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
 }
 
 func TestValidateFlagsRejectsNegativeShards(t *testing.T) {
-	err := validateFlags(1, -2, "")
+	err := validateFlags("saqs", 1, -2, "")
 	if err == nil {
 		t.Fatal("validateFlags accepted a negative shard count")
 	}
 	if !strings.Contains(err.Error(), "-shards") {
 		t.Errorf("error %q does not name -shards", err)
+	}
+}
+
+// Latency figures need the serial per-packet Observe path, so a sweep
+// that includes them must reject -shards before anything simulates —
+// not four figures into an `all` sweep.
+func TestValidateFlagsRejectsShardsWithLatencyFigures(t *testing.T) {
+	for _, sweep := range []string{"lat1", "lat2", "all", "figures", "LAT1"} {
+		err := validateFlags(sweep, 1, 2, "")
+		if err == nil {
+			t.Errorf("validateFlags(sweep=%q, shards=2) accepted", sweep)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-shards") || !strings.Contains(err.Error(), "lat") {
+			t.Errorf("validateFlags(sweep=%q) error %q does not explain the shards/latency conflict", sweep, err)
+		}
+	}
+	// Non-latency sweeps keep working with shards.
+	for _, sweep := range []string{"saqs", "2a", "6b"} {
+		if err := validateFlags(sweep, 1, 2, ""); err != nil {
+			t.Errorf("validateFlags(sweep=%q, shards=2) = %v", sweep, err)
+		}
 	}
 }
 
@@ -39,7 +61,7 @@ func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := validateFlags(1, 0, filepath.Join(file, "sub"))
+	err := validateFlags("saqs", 1, 0, filepath.Join(file, "sub"))
 	if err == nil {
 		t.Fatal("validateFlags accepted a cache dir under a regular file")
 	}
@@ -49,12 +71,12 @@ func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 }
 
 func TestValidateFlagsAccepts(t *testing.T) {
-	if err := validateFlags(1, 0, ""); err != nil {
-		t.Errorf("validateFlags(1, 0, \"\") = %v", err)
+	if err := validateFlags("saqs", 1, 0, ""); err != nil {
+		t.Errorf("validateFlags(saqs, 1, 0, \"\") = %v", err)
 	}
 	dir := filepath.Join(t.TempDir(), "cache")
-	if err := validateFlags(8, 4, dir); err != nil {
-		t.Errorf("validateFlags(8, 4, %q) = %v", dir, err)
+	if err := validateFlags("boost", 8, 4, dir); err != nil {
+		t.Errorf("validateFlags(boost, 8, 4, %q) = %v", dir, err)
 	}
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 		t.Errorf("cache dir not created: %v, %v", fi, err)

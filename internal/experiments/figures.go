@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fabric"
@@ -60,6 +61,24 @@ type Options struct {
 	// with checking on, but violations abort the figure with a
 	// diagnostics snapshot. Checked runs bypass the result cache.
 	Check bool
+	// Context, if non-nil, makes every sweep under these options
+	// cancellable: when it is canceled or times out, sweeps stop
+	// scheduling runs, interrupt in-flight serial runs, and return an
+	// error matching errors.Is(err, ErrCanceled) (see SweepContext).
+	// recnsweep wires Ctrl-C/SIGTERM here; the daemon wires each job's
+	// cancellation.
+	Context context.Context
+	// Cache, if non-nil, is an already-open run cache used instead of
+	// CacheDir. Sharing one handle across concurrent sweeps (the
+	// daemon's workers) lets duplicate specs single-flight in-process
+	// on top of the on-disk store.
+	Cache *RunCache
+	// OnRunDone, if set, is called as each run of a sweep completes
+	// with the run's index, spec, result, and whether it was served
+	// from the cache. Under Parallelism > 1 it is called concurrently
+	// from worker goroutines and in completion (not spec) order; the
+	// daemon streams these as live per-run events.
+	OnRunDone func(index int, r Run, res *Result, cached bool)
 }
 
 func (o Options) withDefaults() Options {

@@ -16,6 +16,14 @@ import (
 // distribution into before/during/after the congestion tree.
 func LatencyFig(corner int, o Options) (*Table, error) {
 	o = o.withDefaults()
+	// The latency split needs the serial per-packet Observe path:
+	// sharded deliveries run concurrently on shard goroutines and the
+	// windowed schedule would change the samples. Reject up front
+	// rather than silently ignoring the setting (or failing deep in
+	// the run).
+	if o.Shards > 0 {
+		return nil, fmt.Errorf("experiments: latency figures need the serial per-packet Observe path; run without shards (got Shards=%d)", o.Shards)
+	}
 	policies := o.Policies
 	if policies == nil {
 		policies = []fabric.Policy{fabric.PolicyVOQnet, fabric.Policy1Q, fabric.PolicyRECN}
@@ -41,10 +49,8 @@ func LatencyFig(corner int, o Options) (*Table, error) {
 	}
 	// One run per policy, fanned across the sweep workers. Each run's
 	// Observe writes only its own window summaries, so the runs stay
-	// independent; the rows render in policy order afterwards. These
-	// runs ignore Options.Shards: Observe needs the serial engine
-	// (sharded deliveries run concurrently), and the windowed schedule
-	// would change the latency samples against the serial figures.
+	// independent; the rows render in policy order afterwards. (Shards
+	// was rejected above: Observe needs the serial engine.)
 	runs := make([]Run, len(policies))
 	perPolicy := make([][]*stats.Latency, len(policies))
 	for pi, p := range policies {

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fabric"
+)
+
+// This file is the figure registry: every reproducible table and figure
+// of the paper (plus the extensions) by ID. It used to live in the
+// repro facade; it moved here so the sweep daemon (internal/server) can
+// run figures by ID without importing the facade — the facade now
+// delegates down.
+
+type figureRunner func(o Options) ([]*Table, error)
+
+var figureRunners = map[string]figureRunner{
+	"table1": func(o Options) ([]*Table, error) {
+		t, err := Table1()
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	},
+	"2a": fig2Runner(1, 0),
+	"2b": fig2Runner(2, 0),
+	"2c": func(o Options) ([]*Table, error) {
+		fig, err := Fig2(1, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Zoom(750, 1000, fabric.PolicyVOQnet, fabric.PolicyRECN)}, nil
+	},
+	"2d": func(o Options) ([]*Table, error) {
+		fig, err := Fig2(2, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Zoom(750, 1000, fabric.PolicyVOQnet, fabric.PolicyRECN)}, nil
+	},
+	"3a":      fig3Runner(20),
+	"3b":      fig3Runner(40),
+	"4a":      fig4Runner(1),
+	"4b":      fig4Runner(2),
+	"5a":      fig5Runner(20),
+	"5b":      fig5Runner(40),
+	"6a":      fig6Runner(256),
+	"6b":      fig6Runner(512),
+	"pkt512a": fig2Runner(1, 512),
+	"pkt512b": fig2Runner(2, 512),
+	"a1": func(o Options) ([]*Table, error) {
+		t, err := AblationSAQCount(o, nil)
+		return []*Table{t}, err
+	},
+	"a2": func(o Options) ([]*Table, error) {
+		t, err := AblationThreshold(o, nil)
+		return []*Table{t}, err
+	},
+	"a3": func(o Options) ([]*Table, error) {
+		t, err := AblationTokenBoost(o)
+		return []*Table{t}, err
+	},
+	"a4": func(o Options) ([]*Table, error) {
+		t, err := AblationMarkers(o)
+		return []*Table{t}, err
+	},
+	"lat1": func(o Options) ([]*Table, error) {
+		t, err := LatencyFig(1, o)
+		return []*Table{t}, err
+	},
+	"lat2": func(o Options) ([]*Table, error) {
+		t, err := LatencyFig(2, o)
+		return []*Table{t}, err
+	},
+}
+
+// figureRuns estimates, per figure ID, how many simulations Reproduce
+// schedules under default options ("table1" builds traffic specs only
+// and simulates nothing). Admission control in the sweep daemon sizes
+// submissions with it; Options.Policies or custom ablation lists change
+// the real count, so it is an estimate, not an invariant.
+var figureRuns = map[string]int{
+	"table1": 0,
+	"2a":     5, "2b": 5, "2c": 5, "2d": 5,
+	"3a": 4, "3b": 4,
+	"4a": 1, "4b": 1,
+	"5a": 1, "5b": 1,
+	"6a": 3, "6b": 3,
+	"pkt512a": 5, "pkt512b": 5,
+	"a1": 5, "a2": 5, "a3": 2, "a4": 2,
+	"lat1": 3, "lat2": 3,
+}
+
+func fig2Runner(corner, pktSize int) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		if pktSize != 0 {
+			o.PacketSize = pktSize
+		}
+		fig, err := Fig2(corner, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig3Runner(cf float64) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		fig, err := Fig3(cf, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig4Runner(corner int) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		fig, err := Fig4(corner, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig5Runner(cf float64) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		fig, err := Fig5(cf, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig.Table()}, nil
+	}
+}
+
+func fig6Runner(hosts int) figureRunner {
+	return func(o Options) ([]*Table, error) {
+		tput, saq, err := Fig6(hosts, o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{tput.Table(), saq.Table()}, nil
+	}
+}
+
+// FigureIDs lists every reproducible experiment, in paper order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figureRunners))
+	for id := range figureRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// KnownFigure reports whether an ID names a reproducible experiment.
+func KnownFigure(id string) bool {
+	_, ok := figureRunners[strings.ToLower(id)]
+	return ok
+}
+
+// EstimatedRuns returns how many simulations Reproduce(id) schedules
+// under default options; false for unknown IDs.
+func EstimatedRuns(id string) (int, bool) {
+	n, ok := figureRuns[strings.ToLower(id)]
+	return n, ok
+}
+
+// Reproduce regenerates one of the paper's tables or figures by ID
+// ("table1", "2a"–"2d", "3a"/"3b", "4a"/"4b", "5a"/"5b", "6a"/"6b",
+// "pkt512a"/"pkt512b", ablations "a1"–"a4", and the latency extension
+// "lat1"/"lat2"). Options.Scale trades fidelity for speed; 1.0
+// reproduces the paper's durations.
+func Reproduce(id string, o Options) ([]*Table, error) {
+	runner, ok := figureRunners[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown figure %q (have %s)", id, strings.Join(FigureIDs(), ", "))
+	}
+	return runner(o)
+}

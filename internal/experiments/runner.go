@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -175,7 +176,22 @@ type Result struct {
 }
 
 // Execute builds the network, installs the workload and simulates.
-func (r Run) Execute() (*Result, error) {
+func (r Run) Execute() (*Result, error) { return r.ExecuteContext(context.Background()) }
+
+// ExecuteContext is Execute under a context. A serial run checks for
+// cancellation at horizon-fraction boundaries (the event stream is not
+// perturbed: the engine runs the same events in the same order, just in
+// chunks, so results stay bit-identical to an uncancelled Execute); a
+// canceled run returns an error matching errors.Is(err, ErrCanceled).
+// Sharded runs check only before starting — the windowed runtime owns
+// its barrier loop — so their cancellation granularity is the whole run.
+func (r Run) ExecuteContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: run not started: %w", ErrCanceled)
+	}
 	if r.Until <= 0 {
 		return nil, fmt.Errorf("experiments: no horizon")
 	}
@@ -315,7 +331,7 @@ func (r Run) Execute() (*Result, error) {
 			return nil, err
 		}
 	}
-	if err := r.simulate(net); err != nil {
+	if err := r.simulate(ctx, net); err != nil {
 		return nil, err
 	}
 	if err := adapter.firstInjectErr(); err != nil {
@@ -343,7 +359,7 @@ func (r Run) Execute() (*Result, error) {
 // from deep inside an event handler, and the recover boundary here is
 // what turns that into a structured failure instead of a crashed sweep
 // worker. The violation's Detail() carries the diagnostics snapshot.
-func (r Run) simulate(net *fabric.Network) (err error) {
+func (r Run) simulate(ctx context.Context, net *fabric.Network) (err error) {
 	if r.Check {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -362,10 +378,39 @@ func (r Run) simulate(net *fabric.Network) (err error) {
 		} else {
 			net.FinishWindowed()
 		}
-	} else {
+	} else if ctx.Done() == nil {
 		net.Engine.Run(r.Until)
 		if r.DrainAll {
 			net.Engine.Drain()
+		}
+	} else {
+		// Cancellable: run the horizon in chunks, checking the context
+		// between them. Chunking dispatches the exact same events in the
+		// exact same order as one Run call — the chunk boundaries only
+		// bound how late a cancellation is noticed — so a run under a
+		// cancellable context that is never canceled is bit-identical
+		// (results, event counts, trace stamps) to one without.
+		step := r.Until / 128
+		if step <= 0 {
+			step = r.Until
+		}
+		for at := step; ; at += step {
+			if at > r.Until {
+				at = r.Until
+			}
+			net.Engine.Run(at)
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("experiments: run interrupted at %v: %w", net.Engine.Now(), ErrCanceled)
+			}
+			if at == r.Until {
+				break
+			}
+		}
+		if r.DrainAll {
+			net.Engine.Drain()
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("experiments: run interrupted during drain: %w", ErrCanceled)
+			}
 		}
 	}
 	if r.DrainAll {

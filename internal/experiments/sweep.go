@@ -1,17 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/stats"
 )
+
+// ErrCanceled is the typed error a sweep (or a single run) returns when
+// its context is canceled or times out. Detect it with errors.Is; the
+// results slice returned alongside it holds every run that completed
+// before the cancellation (unfinished slots are nil).
+var ErrCanceled = errors.New("canceled")
 
 // This file is the sweep engine: every figure, table and ablation is a
 // list of independent Runs, and Sweep fans them across a worker pool.
@@ -90,6 +99,11 @@ type RunCache struct {
 	misses     int
 	storeFails int
 	storeErr   error // first store failure
+	// flights single-flights concurrent executions of the same spec:
+	// the first caller to miss becomes the leader and simulates, later
+	// callers wait on the channel and re-load the stored result. Keyed
+	// by SpecHash; entries live only while a simulation is in flight.
+	flights map[uint64]chan struct{}
 }
 
 // OpenRunCache opens (creating if necessary) a cache directory and
@@ -134,6 +148,33 @@ func (c *RunCache) StoreFailures() (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.storeFails, c.storeErr
+}
+
+// joinFlight registers interest in a spec hash. The first caller since
+// the last leaveFlight becomes the leader (second result true) and must
+// call leaveFlight when its simulation and store are finished; every
+// other caller gets a channel that closes at that point.
+func (c *RunCache) joinFlight(h uint64) (<-chan struct{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.flights == nil {
+		c.flights = make(map[uint64]chan struct{})
+	}
+	if ch, ok := c.flights[h]; ok {
+		return ch, false
+	}
+	ch := make(chan struct{})
+	c.flights[h] = ch
+	return ch, true
+}
+
+// leaveFlight releases a leadership taken via joinFlight, waking every
+// waiting duplicate caller.
+func (c *RunCache) leaveFlight(h uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	close(c.flights[h])
+	delete(c.flights, h)
 }
 
 func (c *RunCache) path(r Run) string {
@@ -195,12 +236,23 @@ func (c *RunCache) load(r Run) (*Result, bool) {
 	return res, true
 }
 
+// tmpSeq disambiguates concurrent Store temp files: two goroutines
+// storing the same spec must never share a temp path, or one's rename
+// could publish the other's half-written bytes.
+var tmpSeq atomic.Uint64
+
 // Store writes a run's result. Uncacheable runs are skipped silently;
-// the write is atomic (temp file + rename) so a crashed writer leaves
-// no truncated entry under the final name.
+// the write is atomic (per-writer temp file + rename) so a crashed or
+// racing writer leaves no truncated entry under the final name, and a
+// valid already-stored entry is left untouched (concurrent daemon
+// workers and separate processes may store the same spec — results for
+// one spec are deterministic, so whichever write landed is correct).
 func (c *RunCache) Store(r Run, res *Result) error {
 	if !r.cacheable() || res == nil {
 		return nil
+	}
+	if _, ok := c.load(r); ok {
+		return nil // a valid entry already exists
 	}
 	rep, err := json.Marshal(res.Report())
 	if err != nil {
@@ -216,11 +268,31 @@ func (c *RunCache) Store(r Run, res *Result) error {
 		return err
 	}
 	path := c.path(r)
-	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpSeq.Add(1))
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// Raw returns the stored entry for a spec hash without needing the Run
+// that produced it: the verbatim spec key and the serialized
+// stats.Report. Version and checksum are validated like Load; a missing
+// or damaged entry is simply absent. This is the daemon's cache-lookup
+// surface (GET /v1/runs/{key}).
+func (c *RunCache) Raw(hash uint64) (specKey string, report []byte, ok bool) {
+	raw, err := os.ReadFile(filepath.Join(c.dir, fmt.Sprintf("%016x.json", hash)))
+	if err != nil {
+		return "", nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		return "", nil, false
+	}
+	if entry.Version != cacheVersion || entry.Sum != checksum(entry.Report) {
+		return "", nil, false
+	}
+	return entry.SpecKey, entry.Report, true
 }
 
 // Report converts the result's measurements to the serializable,
@@ -287,7 +359,25 @@ type CacheSummary struct {
 // Options.CacheDir set (and NoCache unset), results load from and
 // store to the run cache. On failure the error of the lowest-indexed
 // failing run is returned, which keeps error output deterministic too.
+// With Options.Context set it is cancellable — see SweepContext.
 func Sweep(runs []Run, o Options) ([]*Result, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return SweepContext(ctx, runs, o)
+}
+
+// SweepContext is Sweep under an explicit context (which wins over
+// Options.Context). When ctx is canceled or times out, the sweep stops
+// scheduling new runs, interrupts in-flight serial runs at the next
+// cancellation check, and returns the results completed so far
+// alongside an error matching errors.Is(err, ErrCanceled); unfinished
+// slots of the results slice are nil.
+func SweepContext(ctx context.Context, runs []Run, o Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := o.Parallelism
 	if n < 0 {
 		return nil, fmt.Errorf("experiments: parallelism %d (want ≥ 1, or 0 for GOMAXPROCS)", n)
@@ -298,35 +388,51 @@ func Sweep(runs []Run, o Options) ([]*Result, error) {
 	if n > len(runs) {
 		n = len(runs)
 	}
-	var cache *RunCache
-	if o.CacheDir != "" && !o.NoCache {
+	cache := o.Cache
+	if o.NoCache {
+		cache = nil
+	} else if cache == nil && o.CacheDir != "" {
 		var err error
 		cache, err = OpenRunCache(o.CacheDir)
 		if err != nil {
 			return nil, err
 		}
-		if o.OnCacheSummary != nil {
-			// Deferred so the summary — including store failures, which
-			// do not fail the sweep — reaches the caller on every exit
-			// path.
-			defer func() {
-				hits, misses := cache.Stats()
-				fails, ferr := cache.StoreFailures()
-				o.OnCacheSummary(CacheSummary{
-					Hits: hits, Misses: misses,
-					StoreFailures: fails, FirstStoreErr: ferr,
-				})
-			}()
-		}
+	}
+	if cache != nil && o.OnCacheSummary != nil {
+		// Deferred so the summary — including store failures, which
+		// do not fail the sweep — reaches the caller on every exit
+		// path. With a shared Options.Cache the tallies are cumulative
+		// across every sweep on that cache.
+		c := cache
+		defer func() {
+			hits, misses := c.Stats()
+			fails, ferr := c.StoreFailures()
+			o.OnCacheSummary(CacheSummary{
+				Hits: hits, Misses: misses,
+				StoreFailures: fails, FirstStoreErr: ferr,
+			})
+		}()
 	}
 	results := make([]*Result, len(runs))
+	done := func(i int, res *Result, cached bool) {
+		if o.OnRunDone != nil {
+			o.OnRunDone(i, runs[i], res, cached)
+		}
+	}
 	if n <= 1 {
 		for i, r := range runs {
-			res, err := executeCached(r, cache)
+			if ctx.Err() != nil {
+				return results, fmt.Errorf("experiments: sweep interrupted after %d/%d runs: %w", i, len(runs), ErrCanceled)
+			}
+			res, cached, err := executeCached(ctx, r, cache)
 			if err != nil {
+				if errors.Is(err, ErrCanceled) {
+					return results, fmt.Errorf("experiments: %v run: %w", r.Policy, err)
+				}
 				return nil, fmt.Errorf("experiments: %v run: %w", r.Policy, err)
 			}
 			results[i] = res
+			done(i, res, cached)
 		}
 		return results, nil
 	}
@@ -338,19 +444,34 @@ func Sweep(runs []Run, o Options) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = executeCached(runs[i], cache)
+				var cached bool
+				results[i], cached, errs[i] = executeCached(ctx, runs[i], cache)
+				if errs[i] == nil {
+					done(i, results[i], cached)
+				}
 			}
 		}()
 	}
+feed:
 	for i := range runs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// A real run failure wins over cancellation (lowest index first, so
+	// error output stays deterministic); canceled runs only surface as
+	// the sweep-level ErrCanceled below.
 	for i, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrCanceled) {
 			return nil, fmt.Errorf("experiments: %v run: %w", runs[i].Policy, err)
 		}
+	}
+	if ctx.Err() != nil {
+		return results, fmt.Errorf("experiments: sweep interrupted: %w", ErrCanceled)
 	}
 	return results, nil
 }
@@ -360,21 +481,44 @@ func Sweep(runs []Run, o Options) ([]*Result, error) {
 // correct, the next sweep just re-simulates — but it is not silent
 // either: the failure is counted and surfaced in the sweep's cache
 // summary (a full disk or revoked permission would otherwise quietly
-// re-simulate everything forever).
-func executeCached(r Run, cache *RunCache) (*Result, error) {
-	if cache != nil {
+// re-simulate everything forever). Concurrent callers with the same
+// spec — parallel sweep workers, or daemon jobs sharing one cache —
+// single-flight: one simulates, the rest wait and load the stored
+// result. The second return reports whether the result came from the
+// cache.
+func executeCached(ctx context.Context, r Run, cache *RunCache) (*Result, bool, error) {
+	if cache == nil || !r.cacheable() {
+		res, err := r.ExecuteContext(ctx)
+		return res, false, err
+	}
+	h := r.SpecHash()
+	for {
 		if res, ok := cache.Load(r); ok {
+			return res, true, nil
+		}
+		wait, leader := cache.joinFlight(h)
+		if !leader {
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return nil, false, fmt.Errorf("experiments: waiting on duplicate spec %016x: %w", h, ErrCanceled)
+			}
+			// The leader finished (or failed): re-load. A successful
+			// store hits; a failed store or failed run misses, and this
+			// caller becomes the next leader and simulates itself.
+			continue
+		}
+		res, err := func() (*Result, error) {
+			defer cache.leaveFlight(h)
+			res, err := r.ExecuteContext(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if serr := cache.Store(r, res); serr != nil {
+				cache.noteStoreFailure(serr)
+			}
 			return res, nil
-		}
+		}()
+		return res, false, err
 	}
-	res, err := r.Execute()
-	if err != nil {
-		return nil, err
-	}
-	if cache != nil {
-		if err := cache.Store(r, res); err != nil {
-			cache.noteStoreFailure(err)
-		}
-	}
-	return res, nil
 }

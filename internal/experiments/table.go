@@ -92,9 +92,18 @@ func (t *Table) FprintCSV(w io.Writer) error {
 	return nil
 }
 
+// FprintTables writes tables back-to-back with no separator — the
+// exact byte stream recnsweep prints, and therefore the stream the
+// daemon's text results endpoint must produce for the API-vs-CLI
+// byte-identity contract.
+func FprintTables(w io.Writer, tables []*Table) {
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+}
+
 // RenderTables renders a list of tables separated by blank lines — the
-// format the CLIs print and the serial-vs-parallel golden tests
-// compare byte-for-byte.
+// format the serial-vs-parallel golden tests compare byte-for-byte.
 func RenderTables(tables []*Table) string {
 	var sb strings.Builder
 	for _, t := range tables {

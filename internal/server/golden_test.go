@@ -1,0 +1,67 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The acceptance contract: results fetched through the API are
+// byte-identical to what `recnsweep -sweep 4b -scale 0.1` prints, and a
+// repeat submission of the same spec is served from the run cache
+// without re-simulating.
+func TestAPISweepByteIdenticalToCLIAndCacheHits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation; skipped in -short")
+	}
+	_, ts := newTestServer(t, Config{CacheDir: t.TempDir()})
+
+	fetch := func() ([]byte, map[string]any) {
+		t.Helper()
+		code, body := submit(t, ts, `{"figures":["4b"],"scale":0.1}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %v", code, body)
+		}
+		id := body["id"].(string)
+		st := waitState(t, ts, id, "done")
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, st
+	}
+
+	apiBytes, first := fetch()
+	if first["runs_cached"].(float64) != 0 {
+		t.Errorf("first submission reported %v cached runs, want 0", first["runs_cached"])
+	}
+
+	// The same figure through the library path recnsweep uses.
+	tables, err := experiments.Reproduce("4b", experiments.Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli bytes.Buffer
+	experiments.FprintTables(&cli, tables)
+	if !bytes.Equal(apiBytes, cli.Bytes()) {
+		t.Errorf("API results diverge from the CLI byte stream:\nAPI:\n%s\nCLI:\n%s", apiBytes, cli.Bytes())
+	}
+
+	// Resubmitting the identical spec must hit the cache for every run
+	// and still serve identical bytes.
+	again, second := fetch()
+	if done, cached := second["runs_done"].(float64), second["runs_cached"].(float64); cached != done || done == 0 {
+		t.Errorf("repeat submission: %v/%v runs cached, want all", cached, done)
+	}
+	if !bytes.Equal(again, apiBytes) {
+		t.Error("repeat submission served different bytes")
+	}
+}

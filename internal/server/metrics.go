@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics are the daemon's operational counters, exported in Prometheus
+// text format by GET /metrics. Counters are atomics (hot paths bump
+// them without the server lock); gauges are sampled at scrape time.
+type metrics struct {
+	admitted            atomic.Int64
+	rejectedQueueFull   atomic.Int64
+	rejectedTooManyRuns atomic.Int64
+	rejectedDraining    atomic.Int64
+	rejectedBadRequest  atomic.Int64
+	jobsDone            atomic.Int64
+	jobsFailed          atomic.Int64
+	jobsCanceled        atomic.Int64
+	runsDone            atomic.Int64
+	runsCached          atomic.Int64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.state == stateRunning {
+			running++
+		}
+	}
+	s.mu.Unlock()
+
+	up := time.Since(s.started).Seconds()
+	runs := s.met.runsDone.Load()
+	cached := s.met.runsCached.Load()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(name string, help string, typ string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	p("recnserved_uptime_seconds", "Seconds since the daemon started.", "gauge", fmt.Sprintf("%.3f", up))
+	p("recnserved_queue_depth", "Jobs admitted but not yet started.", "gauge", s.queue.depth())
+	p("recnserved_queue_capacity", "Bounded job-queue capacity.", "gauge", s.cfg.QueueCap)
+	p("recnserved_jobs_running", "Jobs currently executing.", "gauge", running)
+	p("recnserved_jobs_admitted_total", "Submissions accepted into the queue.", "counter", s.met.admitted.Load())
+	p("recnserved_rejected_queue_full_total", "Submissions rejected: queue at capacity.", "counter", s.met.rejectedQueueFull.Load())
+	p("recnserved_rejected_too_many_runs_total", "Submissions rejected: over the per-request run limit.", "counter", s.met.rejectedTooManyRuns.Load())
+	p("recnserved_rejected_draining_total", "Submissions rejected: daemon shutting down.", "counter", s.met.rejectedDraining.Load())
+	p("recnserved_rejected_bad_request_total", "Submissions rejected: malformed spec.", "counter", s.met.rejectedBadRequest.Load())
+	p("recnserved_jobs_done_total", "Jobs finished successfully.", "counter", s.met.jobsDone.Load())
+	p("recnserved_jobs_failed_total", "Jobs finished with an error.", "counter", s.met.jobsFailed.Load())
+	p("recnserved_jobs_canceled_total", "Jobs canceled before completion.", "counter", s.met.jobsCanceled.Load())
+	p("recnserved_runs_done_total", "Simulation runs completed (cache hits included).", "counter", runs)
+	p("recnserved_runs_cached_total", "Runs served from the result cache without simulating.", "counter", cached)
+	p("recnserved_runs_per_second", "Run completion rate since start.", "gauge", fmt.Sprintf("%.3f", float64(runs)/max(up, 1e-9)))
+}

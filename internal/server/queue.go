@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Typed admission errors, mempool-style: a submission is rejected with
+// a reason the API maps to a structured JSON error, never silently
+// dropped.
+var (
+	// ErrQueueFull rejects a submission when the bounded job queue is
+	// at capacity (HTTP 429, code "queue_full").
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrTooManyRuns rejects a submission whose estimated simulation
+	// count exceeds the per-request limit (HTTP 413, code
+	// "too_many_runs").
+	ErrTooManyRuns = errors.New("server: request exceeds per-request run limit")
+	// ErrDraining rejects a submission while the daemon is shutting
+	// down (HTTP 503, code "shutting_down").
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// jobQueue is the bounded FIFO job queue. It is a mutex+slice rather
+// than a channel so the daemon can report exact queue positions, remove
+// a canceled job mid-queue, and — on shutdown — snapshot the jobs that
+// never started for persistence instead of racing workers for them.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*job
+	capn   int
+	closed bool
+}
+
+func newJobQueue(capn int) *jobQueue {
+	q := &jobQueue{capn: capn}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a job, rejecting with ErrQueueFull at capacity and
+// ErrDraining after close.
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.items) >= q.capn {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed; after
+// close it returns false immediately even if jobs remain (close already
+// snapshotted them for persistence).
+func (q *jobQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// remove deletes a queued job by ID (cancellation mid-queue); false if
+// the job is not queued (already started, finished, or unknown).
+func (q *jobQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.id == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// position returns a queued job's 1-based FIFO position, 0 if absent.
+func (q *jobQueue) position(id string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.id == id {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// depth reports how many jobs are queued (not yet running).
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close marks the queue closed, wakes every blocked pop, and returns
+// the jobs that never started, in FIFO order, for persistence.
+func (q *jobQueue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	out := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return out
+}

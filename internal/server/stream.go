@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleEvents is the live lifecycle stream: Server-Sent Events
+// replaying a job's event log from the start (or from Last-Event-ID /
+// ?after=N on reconnect) and then tailing new events — queued, started,
+// per-run and per-figure completions — until the job reaches a terminal
+// state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no sweep %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.Atoi(v)
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.Atoi(v)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// The tail loop sleeps on the server-wide cond (broadcast on every
+	// event append); a client disconnect must wake it too, so hook the
+	// request context into the same broadcast.
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+	defer stop()
+
+	for {
+		s.mu.Lock()
+		for ctx.Err() == nil && len(j.events) <= after && !terminal(j.state) {
+			s.cond.Wait()
+		}
+		batch := append([]event(nil), j.events[min(after, len(j.events)):]...)
+		done := terminal(j.state)
+		s.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		for _, e := range batch {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			// id: lets a reconnecting client resume via Last-Event-ID.
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+		}
+		after += len(batch)
+		fl.Flush()
+		if done {
+			return
+		}
+	}
+}

@@ -24,10 +24,8 @@
 package repro
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"sort"
-	"strings"
 
 	"repro/internal/check"
 	"repro/internal/experiments"
@@ -35,6 +33,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/pkt"
 	"repro/internal/recn"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -148,9 +147,46 @@ func SummarizeSeries(s Series) SeriesSummary { return stats.Summarize(s) }
 // stored to the on-disk run cache.
 func Sweep(runs []Run, o Options) ([]*Result, error) { return experiments.Sweep(runs, o) }
 
+// SweepContext is Sweep under a context: when ctx is canceled or times
+// out, the sweep stops scheduling new runs, interrupts in-flight serial
+// runs, and returns the completed results alongside an error matching
+// errors.Is(err, ErrCanceled).
+func SweepContext(ctx context.Context, runs []Run, o Options) ([]*Result, error) {
+	return experiments.SweepContext(ctx, runs, o)
+}
+
+// ErrCanceled is the typed error a canceled or timed-out sweep (or
+// run) returns; detect it with errors.Is.
+var ErrCanceled = experiments.ErrCanceled
+
+// FprintTables writes tables back-to-back with no separator — the
+// exact byte stream recnsweep prints and the daemon's text results
+// endpoint serves.
+func FprintTables(w io.Writer, tables []*Table) { experiments.FprintTables(w, tables) }
+
 // OpenRunCache opens (creating if necessary) a run-result cache
 // directory and verifies it is writable.
 func OpenRunCache(dir string) (*RunCache, error) { return experiments.OpenRunCache(dir) }
+
+// ServerConfig configures the sweep-as-a-service daemon (recnserved):
+// listen address, run-cache directory, queue capacity and per-request
+// admission limits, worker count, and queue-state persistence.
+type ServerConfig = server.Config
+
+// SweepServer is the daemon: an HTTP/JSON API over a bounded,
+// admission-controlled job queue draining into the sweep engine, with
+// live SSE result/trace streaming and a /metrics endpoint. Build one
+// with NewSweepServer (tests drive Handler() directly) or run the whole
+// lifecycle with Serve.
+type SweepServer = server.Server
+
+// NewSweepServer builds a daemon instance and starts its workers.
+func NewSweepServer(cfg ServerConfig) (*SweepServer, error) { return server.New(cfg) }
+
+// Serve builds the daemon and serves its API until ctx is canceled
+// (recnserved wires SIGTERM/SIGINT here), then drains in-flight jobs,
+// persists still-queued jobs, and returns.
+func Serve(ctx context.Context, cfg ServerConfig) error { return server.Run(ctx, cfg) }
 
 // ResultFromReport rebuilds a live Result from its serialized report.
 func ResultFromReport(policy Policy, rep RunReport) (*Result, error) {
@@ -383,130 +419,13 @@ func ReplayTrace(net *Network, tr Trace, compression float64) error {
 // Table1 reproduces the paper's Table 1.
 func Table1() (*Table, error) { return experiments.Table1() }
 
-// FigureIDs lists every reproducible experiment, in paper order.
-func FigureIDs() []string {
-	ids := make([]string, 0, len(figureRunners))
-	for id := range figureRunners {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
-}
+// FigureIDs lists every reproducible experiment, in paper order. (The
+// registry itself lives in internal/experiments so the sweep daemon
+// can run figures by ID; this facade delegates.)
+func FigureIDs() []string { return experiments.FigureIDs() }
 
-type figureRunner func(o Options) ([]*Table, error)
-
-var figureRunners = map[string]figureRunner{
-	"table1": func(o Options) ([]*Table, error) {
-		t, err := experiments.Table1()
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{t}, nil
-	},
-	"2a": fig2Runner(1, 0),
-	"2b": fig2Runner(2, 0),
-	"2c": func(o Options) ([]*Table, error) {
-		fig, err := experiments.Fig2(1, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{fig.Zoom(750, 1000, PolicyVOQnet, PolicyRECN)}, nil
-	},
-	"2d": func(o Options) ([]*Table, error) {
-		fig, err := experiments.Fig2(2, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{fig.Zoom(750, 1000, PolicyVOQnet, PolicyRECN)}, nil
-	},
-	"3a":      fig3Runner(20),
-	"3b":      fig3Runner(40),
-	"4a":      fig4Runner(1),
-	"4b":      fig4Runner(2),
-	"5a":      fig5Runner(20),
-	"5b":      fig5Runner(40),
-	"6a":      fig6Runner(256),
-	"6b":      fig6Runner(512),
-	"pkt512a": fig2Runner(1, 512),
-	"pkt512b": fig2Runner(2, 512),
-	"a1": func(o Options) ([]*Table, error) {
-		t, err := experiments.AblationSAQCount(o, nil)
-		return []*Table{t}, err
-	},
-	"a2": func(o Options) ([]*Table, error) {
-		t, err := experiments.AblationThreshold(o, nil)
-		return []*Table{t}, err
-	},
-	"a3": func(o Options) ([]*Table, error) {
-		t, err := experiments.AblationTokenBoost(o)
-		return []*Table{t}, err
-	},
-	"a4": func(o Options) ([]*Table, error) {
-		t, err := experiments.AblationMarkers(o)
-		return []*Table{t}, err
-	},
-	"lat1": func(o Options) ([]*Table, error) {
-		t, err := experiments.LatencyFig(1, o)
-		return []*Table{t}, err
-	},
-	"lat2": func(o Options) ([]*Table, error) {
-		t, err := experiments.LatencyFig(2, o)
-		return []*Table{t}, err
-	},
-}
-
-func fig2Runner(corner, pktSize int) figureRunner {
-	return func(o Options) ([]*Table, error) {
-		if pktSize != 0 {
-			o.PacketSize = pktSize
-		}
-		fig, err := experiments.Fig2(corner, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{fig.Table()}, nil
-	}
-}
-
-func fig3Runner(cf float64) figureRunner {
-	return func(o Options) ([]*Table, error) {
-		fig, err := experiments.Fig3(cf, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{fig.Table()}, nil
-	}
-}
-
-func fig4Runner(corner int) figureRunner {
-	return func(o Options) ([]*Table, error) {
-		fig, err := experiments.Fig4(corner, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{fig.Table()}, nil
-	}
-}
-
-func fig5Runner(cf float64) figureRunner {
-	return func(o Options) ([]*Table, error) {
-		fig, err := experiments.Fig5(cf, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{fig.Table()}, nil
-	}
-}
-
-func fig6Runner(hosts int) figureRunner {
-	return func(o Options) ([]*Table, error) {
-		tput, saq, err := experiments.Fig6(hosts, o)
-		if err != nil {
-			return nil, err
-		}
-		return []*Table{tput.Table(), saq.Table()}, nil
-	}
-}
+// KnownFigure reports whether an ID names a reproducible experiment.
+func KnownFigure(id string) bool { return experiments.KnownFigure(id) }
 
 // SweepSAQs runs the SAQ-count ablation over an explicit list of
 // per-port SAQ counts.
@@ -533,10 +452,4 @@ func SweepThresholds(o Options, detectBytes []int) ([]*Table, error) {
 // "pkt512a"/"pkt512b", ablations "a1"–"a4", and the latency extension
 // "lat1"/"lat2"). Options.Scale trades fidelity for speed; 1.0
 // reproduces the paper's durations.
-func Reproduce(id string, o Options) ([]*Table, error) {
-	runner, ok := figureRunners[strings.ToLower(id)]
-	if !ok {
-		return nil, fmt.Errorf("repro: unknown figure %q (have %s)", id, strings.Join(FigureIDs(), ", "))
-	}
-	return runner(o)
-}
+func Reproduce(id string, o Options) ([]*Table, error) { return experiments.Reproduce(id, o) }
