@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix server-smoke
+.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix server-smoke shootout policy-matrix
 
 all: build test
 
@@ -47,6 +47,22 @@ bench-shards:
 # the cache-hit resubmit, then SIGTERM-drain (same script CI runs).
 server-smoke:
 	./scripts/server-smoke.sh
+
+# Render the policy shoot-out: 1Q vs RECN vs throttle vs arn head to
+# head over five congestion scenarios (one with compound faults).
+# Scale up (-scale 1.0) for paper-length windows.
+shootout:
+	$(GO) run ./cmd/recnsim -fig shootout -scale 0.25
+
+# The cross-policy determinism battery under the race detector:
+# throttle AIMD property tests, the hotspot behavior tests, spec
+# validation, shoot-out identity + dispatch goldens, and the daemon's
+# bad-spec rejections (same selection CI's policy-matrix job runs).
+policy-matrix:
+	$(GO) test -race ./internal/throttle/
+	$(GO) test -race -run 'TestThrottle|TestARN' ./internal/fabric/
+	$(GO) test -race -run 'TestShootout|TestDispatchGolden|TestValidatePolicyOptions' ./internal/experiments/
+	$(GO) test -race -run TestAdmissionBadRequests ./internal/server/
 
 # The windowed runtime's bit-identity matrix under the race detector:
 # shard validation, report/figure identity across shard counts, and the

@@ -45,6 +45,8 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or csv")
 		policies = flag.String("policies", "", "comma-separated mechanisms to run where the figure allows it, e.g. 'RECN,VOQnet' (default per figure)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'seed=1,drop=token:2,droprate=credit:0.01,flap=0:4:100us:140us' (recovery watchdogs enabled; accounting printed in table notes)")
+		thrSpec  = flag.String("throttle", "", "throttle policy tunables, e.g. 'mark=16384,min=100,dec=500,inc=50,period=5us,delay=500ns,cnp=1us' (defaults apply to omitted keys)")
+		arnSpec  = flag.String("arn", "", "arn policy tunables, e.g. 'on=16384,off=4096' (hint hysteresis thresholds in bytes)")
 		chk      = flag.Bool("check", false, "enable the runtime invariant checker on every run (packet/credit conservation, SAQ lifecycle, deadlock/livelock); a violation aborts with a diagnostics snapshot")
 
 		traceOut    = flag.String("trace", "", "write the figure's flight recording as Chrome trace_event JSON (open in Perfetto)")
@@ -76,22 +78,21 @@ func main() {
 		fatal(fmt.Errorf("-shards %d: want 0 (serial) or a positive shard count", *shards))
 	}
 	opts := repro.Options{
-		Scale:       *scale,
-		PacketSize:  *pkt,
-		MaxRows:     *rows,
-		FaultSpec:   *faults,
-		Parallelism: *j,
-		Shards:      *shards,
-		Check:       *chk,
+		Scale:        *scale,
+		PacketSize:   *pkt,
+		MaxRows:      *rows,
+		FaultSpec:    *faults,
+		ThrottleSpec: *thrSpec,
+		ARNSpec:      *arnSpec,
+		Parallelism:  *j,
+		Shards:       *shards,
+		Check:        *chk,
 	}
-	// Validate mechanism names up front, before any (possibly long)
-	// simulation starts.
-	for _, name := range splitList(*policies) {
-		p, err := repro.ParsePolicy(name)
-		if err != nil {
-			fatal(err)
-		}
-		opts.Policies = append(opts.Policies, p)
+	// Validate mechanism names and policy tunables up front, before any
+	// (possibly long) simulation starts.
+	opts.Policies, err = repro.ValidatePolicyOptions(splitList(*policies), *thrSpec, *arnSpec)
+	if err != nil {
+		fatal(err)
 	}
 
 	tracing := *traceOut != "" || *traceLog != "" || *traceTrees != ""

@@ -50,6 +50,8 @@ func main() {
 		cache   = flag.String("cache", "", "run-result cache directory (created if missing)")
 		noCache = flag.Bool("no-cache", false, "bypass the run-result cache")
 		chk     = flag.Bool("check", false, "enable the runtime invariant checker on every run (checked runs bypass the cache)")
+		thrSpec = flag.String("throttle", "", "throttle policy tunables, e.g. 'mark=16384,min=100' (defaults apply to omitted keys)")
+		arnSpec = flag.String("arn", "", "arn policy tunables, e.g. 'on=16384,off=4096'")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
@@ -61,6 +63,10 @@ func main() {
 	}
 	// All flag validation happens before any simulation starts.
 	if err := validateFlags(*sweep, *j, *shards, *cache); err != nil {
+		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := repro.ValidatePolicyOptions(nil, *thrSpec, *arnSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
 		os.Exit(2)
 	}
@@ -80,7 +86,7 @@ func main() {
 	// sweep returns ErrCanceled (handled by fail below).
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk, Context: ctx}
+	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk, Context: ctx, ThrottleSpec: *thrSpec, ARNSpec: *arnSpec}
 	// A failed cache write does not fail a sweep (the result is fresh
 	// and correct), but it must not pass silently either: without the
 	// warning a full disk or revoked permission would quietly

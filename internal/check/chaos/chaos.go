@@ -33,6 +33,10 @@ type Scenario struct {
 	Hosts     int
 	Until     sim.Time
 	Fragments []string
+	// Policy names the queuing mechanism under test ("RECN",
+	// "throttle", "arn", ...); empty means RECN, so pre-existing
+	// hand-written scenarios keep their meaning.
+	Policy string
 }
 
 // settle is how long past the injection horizon a run may take to
@@ -49,7 +53,19 @@ func (s Scenario) Spec() string {
 }
 
 func (s Scenario) String() string {
-	return fmt.Sprintf("chaos{seed=%d hosts=%d until=%v spec=%q}", s.Seed, s.Hosts, s.Until, s.Spec())
+	return fmt.Sprintf("chaos{seed=%d hosts=%d policy=%s until=%v spec=%q}", s.Seed, s.Hosts, s.policyName(), s.Until, s.Spec())
+}
+
+func (s Scenario) policyName() string {
+	if s.Policy == "" {
+		return "RECN"
+	}
+	return s.Policy
+}
+
+// policy resolves the scenario's mechanism.
+func (s Scenario) policy() (fabric.Policy, error) {
+	return fabric.ParsePolicy(s.policyName())
 }
 
 // Generate builds a randomized compound scenario from a seed: 3–6
@@ -107,6 +123,10 @@ func Generate(seed int64, hosts int) (Scenario, error) {
 		}
 		s.Fragments = append(s.Fragments, gens[g]())
 	}
+	// Drawn after the fragments so per-seed fault plans are unchanged
+	// from the RECN-only soaks; the soak now also samples the
+	// congestion-management challengers.
+	s.Policy = []string{"RECN", "throttle", "arn"}[rng.Intn(3)]
 	return s, nil
 }
 
@@ -144,8 +164,12 @@ func (s Scenario) run() (err error) {
 	if err != nil {
 		return err
 	}
+	policy, err := s.policy()
+	if err != nil {
+		return err
+	}
 	cfg := fabric.DefaultConfig(topo)
-	cfg.Policy = fabric.PolicyRECN
+	cfg.Policy = policy
 	cfg.Faults = plan
 	cfg.Recovery = aggressiveRecovery()
 	// A small flight-recorder ring so violation snapshots carry the
@@ -219,8 +243,12 @@ func (s Scenario) runSharded(k int) (err error) {
 	if plan.HasScriptedDrops() {
 		return ErrSerialOnly
 	}
+	policy, err := s.policy()
+	if err != nil {
+		return err
+	}
 	cfg := fabric.DefaultConfig(topo)
-	cfg.Policy = fabric.PolicyRECN
+	cfg.Policy = policy
 	cfg.Faults = plan
 	cfg.Recovery = aggressiveRecovery()
 	cfg.Tracer = trace.New(trace.Config{BufferEvents: 512})

@@ -14,8 +14,11 @@ import (
 var soakSeeds = flag.Int("chaos.seeds", 8, "number of seeded chaos scenarios to soak")
 
 // TestGenerateDeterministic: the same seed yields the same scenario,
-// and every generated plan parses.
+// every generated plan parses, and the policy sampling actually covers
+// all three mechanisms across the soak's seed range (a generator that
+// silently collapsed to one policy would hollow out the soak).
 func TestGenerateDeterministic(t *testing.T) {
+	policies := map[string]int{}
 	for seed := int64(1); seed <= 20; seed++ {
 		a, err := Generate(seed, 64)
 		if err != nil {
@@ -25,11 +28,20 @@ func TestGenerateDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if a.Spec() != b.Spec() {
-			t.Fatalf("seed %d: %q vs %q", seed, a.Spec(), b.Spec())
+		if a.Spec() != b.Spec() || a.Policy != b.Policy {
+			t.Fatalf("seed %d: %v vs %v", seed, a, b)
 		}
 		if len(a.Fragments) < 3 || len(a.Fragments) > 6 {
 			t.Fatalf("seed %d: %d fragments", seed, len(a.Fragments))
+		}
+		if _, err := a.policy(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		policies[a.Policy]++
+	}
+	for _, want := range []string{"RECN", "throttle", "arn"} {
+		if policies[want] == 0 {
+			t.Fatalf("policy %s never sampled across 20 seeds: %v", want, policies)
 		}
 	}
 }

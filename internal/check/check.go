@@ -63,6 +63,17 @@ const (
 	// RuleInternal: an impossible state was reached (defensive checks
 	// that validation should have made unreachable).
 	RuleInternal
+	// RuleThrottle: a throttled source's AIMD state left its contract —
+	// the injection rate escaped [MinRateMilli, line rate], or a
+	// below-full rate had no additive-increase timer armed (which would
+	// strand the source below full injection forever).
+	RuleThrottle
+	// RuleSteering: an adaptive-routing override (arn policy) pointed a
+	// packet at a port outside the switch's interchangeable up-port
+	// range — the structural guarantee that notifications never create
+	// routing loops (the override only reselects the ancestor; Hop
+	// still advances every forward).
+	RuleSteering
 
 	numRules
 )
@@ -70,6 +81,7 @@ const (
 var ruleNames = [numRules]string{
 	"packet-conservation", "credit-bounds", "xoff-transmit", "saq-lifecycle",
 	"deadlock", "livelock", "routing", "quiesce", "internal",
+	"throttle", "steering",
 }
 
 func (r Rule) String() string {

@@ -27,6 +27,12 @@ type Options struct {
 	// enabled; the per-run fault/recovery accounting is appended to the
 	// figure's table notes.
 	FaultSpec string
+	// ThrottleSpec / ARNSpec override the throttle and arn policy
+	// tunables for every run that uses those policies (see
+	// throttle.ParseSpec and fabric.ParseARNSpec). Empty = defaults
+	// (and unchanged cache keys).
+	ThrottleSpec string
+	ARNSpec      string
 	// Parallelism is the sweep worker-pool size: every figure, table
 	// and ablation fans its independent runs across this many workers
 	// (0 = GOMAXPROCS, 1 = serial). Results are reassembled in spec
@@ -285,18 +291,20 @@ func runPolicies(hosts int, policies []fabric.Policy, o Options, key string,
 	runs := make([]Run, len(policies))
 	for i, p := range policies {
 		runs[i] = Run{
-			Hosts:      hosts,
-			Policy:     p,
-			PacketSize: o.PacketSize,
-			Key:        key,
-			Workload:   workload,
-			Until:      until,
-			Bin:        bin,
-			Mutate:     mutate,
-			FaultSpec:  o.FaultSpec,
-			Trace:      o.Trace,
-			Check:      o.Check,
-			Shards:     o.Shards,
+			Hosts:        hosts,
+			Policy:       p,
+			PacketSize:   o.PacketSize,
+			Key:          key,
+			Workload:     workload,
+			Until:        until,
+			Bin:          bin,
+			Mutate:       mutate,
+			FaultSpec:    o.FaultSpec,
+			ThrottleSpec: o.ThrottleSpec,
+			ARNSpec:      o.ARNSpec,
+			Trace:        o.Trace,
+			Check:        o.Check,
+			Shards:       o.Shards,
 		}
 	}
 	results, err := Sweep(runs, o)

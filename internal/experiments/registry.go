@@ -74,6 +74,7 @@ var figureRunners = map[string]figureRunner{
 		t, err := LatencyFig(2, o)
 		return []*Table{t}, err
 	},
+	"shootout": Shootout,
 }
 
 // figureRuns estimates, per figure ID, how many simulations Reproduce
@@ -91,6 +92,7 @@ var figureRuns = map[string]int{
 	"pkt512a": 5, "pkt512b": 5,
 	"a1": 5, "a2": 5, "a3": 2, "a4": 2,
 	"lat1": 3, "lat2": 3,
+	"shootout": 20,
 }
 
 func fig2Runner(corner, pktSize int) figureRunner {

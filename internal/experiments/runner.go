@@ -17,6 +17,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/throttle"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -134,6 +135,14 @@ type Run struct {
 	// repair layer is only useful in targeted tests, which set Faults
 	// directly.
 	FaultSpec string
+	// ThrottleSpec, if non-empty, overrides the throttle policy tunables
+	// (throttle.ParseSpec syntax, e.g. "mark=16384,min=100"). ARNSpec
+	// does the same for the arn policy ("on=16384,off=4096"). Both are
+	// declarative and feed SpecKey, so runs with different tunables never
+	// collide in the result cache; empty specs leave the defaults — and
+	// every pre-existing cache key — untouched.
+	ThrottleSpec string
+	ARNSpec      string
 	// Trace, if non-nil, attaches a flight recorder built from this
 	// config to the run (recorders are single-use, so like FaultSpec a
 	// fresh one is created per Execute). The recorder is returned in
@@ -211,6 +220,16 @@ func (r Run) ExecuteContext(ctx context.Context) (*Result, error) {
 	// hold one queue per destination (§4.1).
 	if r.Policy == fabric.PolicyVOQnet && r.Hosts == 512 {
 		cfg.PortMemory = units.PortMemoryLarge
+	}
+	if r.ThrottleSpec != "" {
+		if cfg.Throttle, err = throttle.ParseSpec(r.ThrottleSpec); err != nil {
+			return nil, err
+		}
+	}
+	if r.ARNSpec != "" {
+		if cfg.ARN, err = fabric.ParseARNSpec(r.ARNSpec); err != nil {
+			return nil, err
+		}
 	}
 	if r.Mutate != nil {
 		r.Mutate(&cfg)

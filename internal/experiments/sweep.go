@@ -37,8 +37,18 @@ var ErrCanceled = errors.New("canceled")
 // identical results, so the key — through its hash — is the identity
 // the result cache and derived seeding use.
 func (r Run) SpecKey() string {
-	return fmt.Sprintf("v1|key=%s|hosts=%d|policy=%s|pkt=%d|until=%d|bin=%d|drain=%t|faults=%s|recovery=%+v",
+	k := fmt.Sprintf("v1|key=%s|hosts=%d|policy=%s|pkt=%d|until=%d|bin=%d|drain=%t|faults=%s|recovery=%+v",
 		r.Key, r.Hosts, r.Policy, r.PacketSize, int64(r.Until), int64(r.Bin), r.DrainAll, r.FaultSpec, r.Recovery)
+	// Policy-tunable specs are appended only when set, so every key (and
+	// with it every cache entry and derived seed) from before these
+	// policies existed is reproduced verbatim.
+	if r.ThrottleSpec != "" {
+		k += "|thr=" + r.ThrottleSpec
+	}
+	if r.ARNSpec != "" {
+		k += "|arn=" + r.ARNSpec
+	}
+	return k
 }
 
 // SpecHash returns a stable 64-bit FNV-1a hash of SpecKey. It names

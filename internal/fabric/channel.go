@@ -367,7 +367,10 @@ func (item ctlItem) faultKind() fault.Kind {
 	switch item.recn.Kind {
 	case recn.MsgToken:
 		return fault.Token
-	case recn.MsgNotify:
+	case recn.MsgNotify, recn.MsgHintOn, recn.MsgHintOff:
+		// ARN hints share the notification fault class: like RECN
+		// notifications they are advisory — a dropped hint only costs
+		// routing quality, never correctness (see DESIGN.md §16).
 		return fault.Notify
 	case recn.MsgXoff:
 		return fault.Xoff

@@ -9,6 +9,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/throttle"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -102,6 +103,7 @@ func (n *Network) checkTick() {
 	n.auditConservation()
 	n.auditCreditBounds()
 	n.auditSAQLifecycle()
+	n.auditThrottle()
 	n.auditLivelock()
 	n.check.CountAudit()
 	if st.dead {
@@ -233,6 +235,32 @@ func (n *Network) auditSAQLifecycle() {
 	for _, nic := range n.nics {
 		if nic.inj.rc != nil {
 			auditCtl(nic.inj.loc(), nic.inj.rc.Stats(), nic.inj.rc.ActiveSAQs(), nic.inj.rc.CAMUsed())
+		}
+	}
+}
+
+// auditThrottle verifies every source's AIMD pacer contract
+// (PolicyThrottle): the rate never leaves [MinRateMilli, line rate],
+// and a below-full rate always has the additive-increase timer armed —
+// without it the source would stay throttled forever after congestion
+// clears (the recovery guarantee CheckQuiesced asserts at end of run).
+func (n *Network) auditThrottle() {
+	if n.cfg.Policy != PolicyThrottle {
+		return
+	}
+	min := n.cfg.Throttle.MinRateMilli
+	for _, nic := range n.nics {
+		t := nic.thr
+		if t == nil {
+			continue
+		}
+		if r := t.state.RateMilli; r < min || r > throttle.FullRateMilli {
+			n.check.Failf(check.RuleThrottle, nic.inj.loc(),
+				"injection rate %d‰ outside [%d, %d]", r, min, throttle.FullRateMilli)
+		}
+		if !t.state.Full() && !t.aiArmed {
+			n.check.Failf(check.RuleThrottle, nic.inj.loc(),
+				"rate %d‰ below full with no additive-increase timer armed", t.state.RateMilli)
 		}
 	}
 }

@@ -49,6 +49,15 @@ type egressUnit struct {
 	// NormalWeight an eligible SAQ is served first (the paper's
 	// weighted round-robin with normal queues preferred).
 	wrrDebt int
+
+	// Adaptive-routing notification state (PolicyARN, switch output
+	// ports only). hintOn is this port's own congestion flag (hysteresis
+	// on pool occupancy; transitions feed the switch-level census that
+	// broadcasts hints upstream). hintStop means the switch this port
+	// feeds has hinted congestion: the co-located ingress arbiter then
+	// penalizes this port when steering (set/cleared by arriveCtl).
+	hintOn   bool
+	hintStop bool
 }
 
 // newEgressUnit builds the unit; channels and credits are wired later.
@@ -77,7 +86,7 @@ func newEgressUnit(net *Network, sw *Switch, port int, terminal bool) *egressUni
 // at an output port for the configured mechanism.
 func egressQueuePlan(cfg Config) (n, cap int) {
 	switch cfg.Policy {
-	case Policy1Q, PolicyVOQsw:
+	case Policy1Q, PolicyVOQsw, PolicyThrottle, PolicyARN:
 		return 1, 0
 	case PolicyRECN:
 		return cfg.TrafficClasses, 0
@@ -179,7 +188,7 @@ func (u *egressUnit) checkCredits() error {
 // the packet's remaining route as seen by the next switch.
 func (u *egressUnit) classify(p *pkt.Packet, hop int) queueHandle {
 	switch u.net.cfg.Policy {
-	case Policy1Q, PolicyVOQsw:
+	case Policy1Q, PolicyVOQsw, PolicyThrottle, PolicyARN:
 		return queueHandle{u.qs[0], 0}
 	case Policy4Q:
 		best := 0
@@ -247,7 +256,31 @@ func (u *egressUnit) storePacket(p *pkt.Packet, fromIngress int) {
 	if u.rc != nil {
 		u.rc.OnStored(s, fromIngress, p.Size)
 	}
+	if u.sw != nil && u.net.cfg.Policy == PolicyARN {
+		u.updateHint()
+	}
 	u.ch.kick()
+}
+
+// updateHint runs the per-port congestion hysteresis (PolicyARN, switch
+// output ports only) and feeds transitions into the switch-level census
+// that broadcasts hints upstream.
+func (u *egressUnit) updateHint() {
+	used := u.pool.Used()
+	cfg := &u.net.cfg.ARN
+	if !u.hintOn && used >= cfg.HintOnBytes {
+		u.hintOn = true
+		if u.sc.rec != nil {
+			u.sc.rec.Record(trace.EvHint, u.loc(), "on", int64(used), 0, 0)
+		}
+		u.sw.hintTransition(true)
+	} else if u.hintOn && used < cfg.HintOffBytes {
+		u.hintOn = false
+		if u.sc.rec != nil {
+			u.sc.rec.Record(trace.EvHint, u.loc(), "off", int64(used), 0, 0)
+		}
+		u.sw.hintTransition(false)
+	}
 }
 
 // pickData implements dataSource: the output link arbiter (paper §4.1:
@@ -359,6 +392,19 @@ func (u *egressUnit) grant(h queueHandle, s *recn.SAQ, p *pkt.Packet) *txOrigin 
 		u.active.remove(h.idx)
 	}
 	u.consumeCredit(p)
+	// ECN, marked on dequeue rather than enqueue: the departing packet
+	// carries the congestion bit, so the destination learns about a
+	// full buffer after one path traversal at line rate instead of
+	// after the whole backlog ahead of the packet drains — in a
+	// saturated tree the difference is the feedback loop closing
+	// within the hotspot window versus after the run ends.
+	if u.sw != nil && u.net.cfg.Policy == PolicyThrottle &&
+		!p.Marked && u.pool.Used() >= u.net.cfg.Throttle.MarkBytes {
+		p.Marked = true
+		if u.sc.rec != nil {
+			u.sc.rec.Record(trace.EvMark, u.loc(), "", int64(p.Src), int64(u.pool.Used()), 0)
+		}
+	}
 	o := u.sc.allocOrigin()
 	o.p, o.q, o.saq, o.bytes = p, h, s, p.Size
 	return o
@@ -369,6 +415,9 @@ func (u *egressUnit) txDone(o *txOrigin) {
 	o.q.q.ReleaseResident(o.bytes)
 	if u.rc != nil {
 		u.rc.OnDrained(o.saq)
+	}
+	if u.sw != nil && u.net.cfg.Policy == PolicyARN {
+		u.updateHint()
 	}
 	if u.sw != nil {
 		// Output buffer space freed: inputs blocked on it may proceed.

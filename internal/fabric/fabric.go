@@ -22,6 +22,7 @@ import (
 	"repro/internal/recn"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/throttle"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -44,10 +45,23 @@ const (
 	// PolicyRECN: one queue for uncongested flows plus dynamically
 	// allocated SAQs (the paper's proposal).
 	PolicyRECN
+	// PolicyThrottle: single queues (as 1Q) plus end-point injection
+	// throttling — ECN marks at congested output queues, destination
+	// CNPs back to the marked source, and a per-source AIMD injection
+	// pacer at the NIC (the DCQCN family; internal/throttle).
+	PolicyThrottle
+	// PolicyARN: single queues (as 1Q) plus adaptive-routing
+	// notifications — congested switches broadcast hints upstream, and
+	// ingress arbiters steer packets to an alternate interchangeable
+	// up port where the topology offers one (see steer).
+	PolicyARN
 )
 
-// Policies lists all mechanisms in the order the paper presents them.
-var Policies = []Policy{PolicyVOQnet, Policy1Q, PolicyVOQsw, Policy4Q, PolicyRECN}
+// Policies lists all mechanisms: the five in the order the paper
+// presents them, then the congestion-management extensions (appended at
+// the end so the paper figures' policy order — and with it every
+// existing golden — is untouched).
+var Policies = []Policy{PolicyVOQnet, Policy1Q, PolicyVOQsw, Policy4Q, PolicyRECN, PolicyThrottle, PolicyARN}
 
 func (p Policy) String() string {
 	switch p {
@@ -61,9 +75,23 @@ func (p Policy) String() string {
 		return "VOQnet"
 	case PolicyRECN:
 		return "RECN"
+	case PolicyThrottle:
+		return "throttle"
+	case PolicyARN:
+		return "arn"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// PreservesOrder reports whether the mechanism keeps each flow's
+// packets in injection order. 4Q spreads a flow across queues by
+// occupancy, and arn re-routes packets mid-flow past queued siblings —
+// both reorder by design (for arn this is the classic adaptive-routing
+// cost the paper's in-order RECN avoids; see DESIGN.md §16). All other
+// mechanisms must deliver in order, and the test battery asserts it.
+func (p Policy) PreservesOrder() bool {
+	return p != Policy4Q && p != PolicyARN
 }
 
 // ParsePolicy converts a mechanism name to a Policy (case-insensitive).
@@ -136,6 +164,12 @@ type Config struct {
 	TrafficClasses int
 	// RECN holds the controller thresholds (used only by PolicyRECN).
 	RECN recn.Config
+	// Throttle holds the ECN/AIMD tunables (used only by
+	// PolicyThrottle).
+	Throttle throttle.Config
+	// ARN holds the adaptive-routing hint thresholds (used only by
+	// PolicyARN).
+	ARN ARNConfig
 	// Faults, when non-nil, injects the plan's faults into the links.
 	// Plans are single-use: a plan already bound to another network is
 	// rejected by New.
@@ -174,6 +208,8 @@ func DefaultConfig(topo Topology) Config {
 		AdmitCap:       12 * 1024,
 		TrafficClasses: 1,
 		RECN:           recn.DefaultConfig(),
+		Throttle:       throttle.DefaultConfig(),
+		ARN:            DefaultARNConfig(),
 	}
 }
 
@@ -183,7 +219,7 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("fabric: nil topology")
 	}
 	switch c.Policy {
-	case Policy1Q, Policy4Q, PolicyVOQsw, PolicyVOQnet, PolicyRECN:
+	case Policy1Q, Policy4Q, PolicyVOQsw, PolicyVOQnet, PolicyRECN, PolicyThrottle, PolicyARN:
 	default:
 		return fmt.Errorf("fabric: unknown policy %v (valid: %s)", c.Policy, PolicyNames())
 	}
@@ -207,6 +243,16 @@ func (c *Config) Validate() error {
 	}
 	if c.Policy == PolicyRECN {
 		if err := c.RECN.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Policy == PolicyThrottle {
+		if err := c.Throttle.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Policy == PolicyARN {
+		if err := c.ARN.Validate(); err != nil {
 			return err
 		}
 	}
@@ -656,6 +702,28 @@ func (n *Network) CheckQuiesced() error {
 			}
 		}
 	}
+	if n.cfg.Policy == PolicyARN {
+		for _, sw := range n.switches {
+			if sw.congOut != 0 {
+				return fmt.Errorf("fabric: switch %d still reports %d congested outputs after quiesce", sw.id, sw.congOut)
+			}
+			for p, out := range sw.out {
+				if out == nil {
+					continue
+				}
+				if out.hintOn {
+					return fmt.Errorf("fabric: switch %d out[%d] hint still on after quiesce", sw.id, p)
+				}
+				// A dropped hint-off (fault injection classifies hints as
+				// droppable notifications) legitimately leaves hintStop
+				// stale — it only costs routing quality, never
+				// correctness — so assert it clear only on fault-free runs.
+				if out.hintStop && n.faults == nil {
+					return fmt.Errorf("fabric: switch %d out[%d] hint-stop stale after quiesce", sw.id, p)
+				}
+			}
+		}
+	}
 	for h, nic := range n.nics {
 		if nic.inj.pool.Used() != 0 {
 			return fmt.Errorf("fabric: NIC %d RAM leak: %d bytes", h, nic.inj.pool.Used())
@@ -668,6 +736,18 @@ func (n *Network) CheckQuiesced() error {
 		}
 		if nic.backlog != 0 {
 			return fmt.Errorf("fabric: NIC %d admittance backlog %d", h, nic.backlog)
+		}
+		if nic.thr != nil {
+			// CNPs travel via ScheduleRemote (never over faultable
+			// channels) so recovery to full injection is unconditional:
+			// once traffic stops, additive increase must have restored the
+			// line rate before the event queue drained.
+			if !nic.thr.state.Full() {
+				return fmt.Errorf("fabric: NIC %d injection rate stuck at %d‰ after quiesce", h, nic.thr.state.RateMilli)
+			}
+			if nic.thr.aiArmed {
+				return fmt.Errorf("fabric: NIC %d additive-increase timer still armed at full rate", h)
+			}
 		}
 	}
 	return nil

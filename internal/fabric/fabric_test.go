@@ -174,9 +174,9 @@ func TestUniformTrafficAllPolicies(t *testing.T) {
 				t.Fatalf("injected %d, pending %d", n.InjectedPackets, n.PendingPackets())
 			}
 			// 4Q spreads a flow's packets across queues by occupancy
-			// and so does not preserve order — all other mechanisms
-			// must.
-			if policy != Policy4Q && n.OrderViolations != 0 {
+			// and arn re-routes mid-flow — neither preserves order; all
+			// other mechanisms must.
+			if policy.PreservesOrder() && n.OrderViolations != 0 {
 				t.Fatalf("order violations: %d", n.OrderViolations)
 			}
 			if err := n.CheckQuiesced(); err != nil {

@@ -68,7 +68,7 @@ func newIngressUnit(net *Network, sw *Switch, port int) *ingressUnit {
 // cap at an input port for the configured mechanism (paper §4.3).
 func ingressQueuePlan(cfg Config) (n, cap int) {
 	switch cfg.Policy {
-	case Policy1Q:
+	case Policy1Q, PolicyThrottle, PolicyARN:
 		return 1, 0
 	case PolicyRECN:
 		return cfg.TrafficClasses, 0
@@ -92,7 +92,7 @@ func ingressQueuePlan(cfg Config) (n, cap int) {
 // the turn at this switch).
 func (u *ingressUnit) classify(p *pkt.Packet) (queueHandle, *recn.SAQ) {
 	switch u.net.cfg.Policy {
-	case Policy1Q:
+	case Policy1Q, PolicyThrottle, PolicyARN:
 		return queueHandle{u.qs[0], 0}, nil
 	case Policy4Q:
 		best := 0
@@ -238,6 +238,9 @@ func (u *ingressUnit) arbitSAQ(boostedOnly bool) bool {
 // egress controller so this input gets its congestion notification even
 // though it cannot store a packet there (see recn.Egress.OnDenied).
 func (u *ingressUnit) canForward(p *pkt.Packet, fromSAQ bool) bool {
+	if u.sw.upN >= 2 {
+		u.steer(p)
+	}
 	out := int(p.NextTurn())
 	ou := u.sw.out[out]
 	if ou == nil {
@@ -254,6 +257,59 @@ func (u *ingressUnit) canForward(p *pkt.Packet, fromSAQ bool) bool {
 		return false
 	}
 	return !u.sw.outBusy[out]
+}
+
+// steer re-aims an ascending packet at the best interchangeable up port
+// (PolicyARN: upN ≥ 2 only under that policy). It only acts when the
+// deterministic port carries a congestion hint from downstream;
+// alternatives are then scored by local output-buffer occupancy plus a
+// full-buffer penalty on ports that are themselves hinted, with the
+// original port winning ties — so an unhinted fabric steers nothing and
+// behaves exactly like 1Q. The
+// choice is recorded as a per-(packet, hop) override — never by mutating
+// the shared Route, which the NIC route cache aliases across packets —
+// and goes stale the moment the crossbar advances p.Hop, so a steered
+// packet still consumes exactly one ascent per level: hints cannot
+// create routing loops.
+func (u *ingressUnit) steer(p *pkt.Packet) {
+	sw := u.sw
+	orig := int(p.NextTurn())
+	if orig < sw.upLo || orig >= sw.upLo+sw.upN {
+		return // descending: the remaining route is forced
+	}
+	if !sw.out[orig].hintStop {
+		// Steering is notification-driven: without a congestion hint on
+		// the deterministic port the packet stays on it. Chasing queue
+		// depth alone would reorder every flow all the time and (by
+		// herding every input to the momentarily shortest queue)
+		// degrade uniform traffic the hints never complained about.
+		return
+	}
+	penalty := u.net.cfg.PortMemory
+	score := func(ou *egressUnit) int {
+		s := ou.pool.Used()
+		if ou.hintStop {
+			s += penalty
+		}
+		return s
+	}
+	best, bestScore := orig, score(sw.out[orig])
+	for c := sw.upLo; c < sw.upLo+sw.upN; c++ {
+		ou := sw.out[c]
+		if c == orig || ou == nil || ou.ch == nil {
+			continue
+		}
+		if s := score(ou); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	if u.net.check != nil && (best < sw.upLo || best >= sw.upLo+sw.upN) {
+		u.net.check.Fatalf(check.RuleSteering, u.loc(),
+			"steered %v to port %d outside up range [%d, %d)", p, best, sw.upLo, sw.upLo+sw.upN)
+	}
+	p.OvSet = true
+	p.OvHop = int32(p.Hop)
+	p.OvTurn = pkt.Turn(best)
 }
 
 // --- linkSink ---
@@ -311,6 +367,13 @@ func (u *ingressUnit) arriveCtl(m recn.CtlMsg) {
 			out.rc.OnXonFromDownstream(m.Path)
 			out.ch.kick() // the SAQ may transmit again
 		}
+	case recn.MsgHintOn:
+		// ARN: the switch this port feeds reports congestion; the local
+		// steering arbiters now penalize this output. Advisory only — no
+		// kick needed, hints never gate a transmission.
+		u.sw.out[u.port].hintStop = true
+	case recn.MsgHintOff:
+		u.sw.out[u.port].hintStop = false
 	}
 }
 

@@ -49,7 +49,7 @@ func TestSmallNetworkInvariantSweep(t *testing.T) {
 				if n.PendingPackets() != 0 {
 					t.Fatalf("seed %d: %d packets lost/stuck", seed, n.PendingPackets())
 				}
-				if policy != Policy4Q && n.OrderViolations != 0 {
+				if policy.PreservesOrder() && n.OrderViolations != 0 {
 					t.Fatalf("seed %d: %d order violations", seed, n.OrderViolations)
 				}
 				if err := n.CheckQuiesced(); err != nil {

@@ -52,7 +52,7 @@ func TestMeshDeliveryAllPolicies(t *testing.T) {
 			if n.PendingPackets() != 0 {
 				t.Fatalf("%d packets stuck", n.PendingPackets())
 			}
-			if policy != Policy4Q && n.OrderViolations != 0 {
+			if policy.PreservesOrder() && n.OrderViolations != 0 {
 				t.Fatalf("order violations: %d", n.OrderViolations)
 			}
 			if err := n.CheckQuiesced(); err != nil {

@@ -6,7 +6,9 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/sim"
+	"repro/internal/throttle"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // hostQueue is an unbounded FIFO of packets (a NIC admittance queue).
@@ -75,6 +77,40 @@ type NIC struct {
 	// runPumpFn is nic.runPump bound once, so pump never allocates a
 	// method value on the hot path.
 	runPumpFn func()
+
+	// thr is the AIMD injection pacer (PolicyThrottle only, else nil —
+	// every hook below costs one nil comparison otherwise).
+	thr *nicThrottle
+	// Prebound event thunks for the pacer (see runPumpFn).
+	onCNPFn  func()
+	aiTickFn func()
+	paceFn   func()
+}
+
+// nicThrottle is one host's end-point congestion-control state
+// (PolicyThrottle): the DCQCN-style loop of ECN marks at congested
+// switch output buffers, destination-generated CNPs back to the marked
+// source, and a per-source AIMD rate limiter pacing the NIC pump.
+// Everything is integer arithmetic on simulated time, so runs stay
+// bit-identical across shard counts.
+type nicThrottle struct {
+	// state is the source-side AIMD rate in [MinRateMilli, 1000]‰ of
+	// line rate (internal/throttle).
+	state throttle.State
+	// payAt is the pacing horizon: the instant the bytes already pumped
+	// have paid for at the current rate. The pump stalls until then;
+	// at full rate nothing is ever charged.
+	payAt sim.Time
+	// aiArmed: the additive-increase timer is scheduled. Invariant
+	// (audited by the checker): rate < full ⇒ aiArmed, so a throttled
+	// source always climbs back to line rate once CNPs stop.
+	aiArmed bool
+	// paceArmed dedups the payAt retry event.
+	paceArmed bool
+	// lastCNPAt[src] is the destination-side CNP coalescing clock: at
+	// most one CNP per source per CNPInterval (0 = never sent; the
+	// engine clock is positive whenever packets arrive).
+	lastCNPAt []sim.Time
 }
 
 func newNIC(net *Network, host int) *NIC {
@@ -95,6 +131,15 @@ func newNIC(net *Network, host int) *NIC {
 	nic.runPumpFn = nic.runPump
 	nic.inj = newEgressUnit(net, nil, 0, true)
 	nic.inj.nic = nic
+	if net.cfg.Policy == PolicyThrottle {
+		nic.thr = &nicThrottle{
+			state:     throttle.NewState(),
+			lastCNPAt: make([]sim.Time, hosts),
+		}
+		nic.onCNPFn = nic.onCNP
+		nic.aiTickFn = nic.aiTick
+		nic.paceFn = nic.paceFire
+	}
 	return nic
 }
 
@@ -199,6 +244,11 @@ func (nic *NIC) runPump() {
 		moved := false
 		tried := 0
 		for nic.active.len() > 0 && tried < nic.active.len() {
+			// The AIMD pacer gates the whole pump, not one destination:
+			// throttling is per source (paceReady arms the retry).
+			if !nic.paceReady() {
+				return
+			}
 			idx := nic.active.at(nic.rr % nic.active.len())
 			q := &nic.admit[idx]
 			if q.count == 0 {
@@ -219,6 +269,7 @@ func (nic *NIC) runPump() {
 			nic.backlog--
 			nic.rr++
 			p.InjectedAt = nic.sc.eng.Now()
+			nic.charge(p.Size)
 			nic.inj.storePacket(p, -1)
 			moved = true
 		}
@@ -226,6 +277,96 @@ func (nic *NIC) runPump() {
 			return
 		}
 	}
+}
+
+// --- PolicyThrottle: the end-point AIMD pacer ---
+
+// paceReady reports whether the pacer allows the next packet now; when
+// not, it arms a single retry at the pacing horizon.
+func (nic *NIC) paceReady() bool {
+	t := nic.thr
+	if t == nil {
+		return true
+	}
+	now := nic.sc.eng.Now()
+	if now >= t.payAt {
+		return true
+	}
+	if !t.paceArmed {
+		t.paceArmed = true
+		nic.sc.eng.Schedule(t.payAt, nic.paceFn)
+	}
+	return false
+}
+
+func (nic *NIC) paceFire() {
+	nic.thr.paceArmed = false
+	nic.pump()
+}
+
+// charge advances the pacing horizon for one injected packet: the gap
+// is the packet's line-rate serialization time scaled up by the inverse
+// of the current rate, so the long-run injection rate converges to
+// rate/1000 of line rate. A source at full rate is never charged — the
+// pacer then adds zero work and zero delay.
+func (nic *NIC) charge(size int) {
+	t := nic.thr
+	if t == nil || t.state.Full() {
+		return
+	}
+	gap := units.LinkRate.Serialize(size) *
+		sim.Time(throttle.FullRateMilli) / sim.Time(t.state.RateMilli)
+	if now := nic.sc.eng.Now(); t.payAt < now {
+		t.payAt = now
+	}
+	t.payAt += gap
+}
+
+// noteMark runs at the destination: a marked packet from src arrived,
+// so send src a congestion notification packet unless one went out
+// within the coalescing interval. The CNP travels via ScheduleRemote —
+// host-to-host signaling outside the faultable data channels, with a
+// shard-count-invariant delivery order — after the configured feedback
+// delay (which must exceed the link latency for windowed-mode
+// invariance; the default is 25× it).
+func (nic *NIC) noteMark(src int) {
+	t := nic.thr
+	now := nic.sc.eng.Now()
+	cfg := &nic.net.cfg.Throttle
+	if last := t.lastCNPAt[src]; last != 0 && now-last < cfg.CNPInterval {
+		return
+	}
+	t.lastCNPAt[src] = now
+	nic.net.ScheduleRemote(nic.host, src, now+cfg.FeedbackDelay, nic.net.nics[src].onCNPFn)
+}
+
+// onCNP runs at the source: multiplicative decrease, and arm the
+// additive-increase timer if it is not already running.
+func (nic *NIC) onCNP() {
+	t := nic.thr
+	cfg := &nic.net.cfg.Throttle
+	t.state.OnCNP(*cfg)
+	if nic.sc.rec != nil {
+		nic.sc.rec.Record(trace.EvMark, nic.inj.loc(), "cnp", int64(t.state.RateMilli), 0, 0)
+	}
+	if !t.aiArmed {
+		t.aiArmed = true
+		nic.sc.eng.After(cfg.Period, nic.aiTickFn)
+	}
+}
+
+// aiTick is the additive-increase timer: one rate step per period,
+// self-rescheduling only while below full rate — so a quiescent network
+// drains its event queue and every source provably returns to line
+// rate within SettleTicks periods of the last CNP.
+func (nic *NIC) aiTick() {
+	t := nic.thr
+	cfg := &nic.net.cfg.Throttle
+	if t.state.OnTick(*cfg) {
+		t.aiArmed = false
+		return
+	}
+	nic.sc.eng.After(cfg.Period, nic.aiTickFn)
 }
 
 // --- linkSink (the switch→host channel) ---
@@ -238,6 +379,10 @@ func (nic *NIC) arriveData(p *pkt.Packet) {
 		nic.sc.rec.RecordPacket(trace.EvRecv, nic.hostLoc(), p.ID, p.Size, p.Src, p.Dst)
 	}
 	size := p.Size
+	if nic.thr != nil && p.Marked {
+		// Copied out before deliver recycles the packet.
+		nic.noteMark(p.Src)
+	}
 	nic.sc.deliver(p)
 	nic.inj.ch.pushCredit(size, -1)
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -25,6 +26,15 @@ type Switch struct {
 
 	inBusy  []bool
 	outBusy []bool
+
+	// Adaptive-routing notification state (PolicyARN only; zero
+	// otherwise). upLo/upN is the interchangeable up-port range from the
+	// topology's AlternateRouter capability (upN == 0 when the topology
+	// lacks it or the switch has no alternatives). congOut counts output
+	// ports whose hint is currently on; the 0↔1 transitions broadcast
+	// hint-on/hint-off to every upstream neighbor.
+	upLo, upN int
+	congOut   int
 }
 
 func newSwitch(net *Network, id int) *Switch {
@@ -46,7 +56,41 @@ func newSwitch(net *Network, id int) *Switch {
 		sw.in[p] = newIngressUnit(net, sw, p)
 		sw.out[p] = newEgressUnit(net, sw, p, false)
 	}
+	if net.cfg.Policy == PolicyARN {
+		if ar, ok := topo.(AlternateRouter); ok {
+			sw.upLo, sw.upN = ar.UpPortRange(id)
+		}
+	}
 	return sw
+}
+
+// hintTransition reacts to one output port's hint flipping: it keeps
+// the congested-output census and broadcasts hint-on when the switch
+// gains its first congested output, hint-off when it loses its last.
+// Hints go to every wired switch-facing input's reverse channel — NICs
+// never steer, so host-facing ports are skipped.
+func (sw *Switch) hintTransition(on bool) {
+	if on {
+		sw.congOut++
+		if sw.congOut == 1 {
+			sw.broadcastHint(recn.MsgHintOn)
+		}
+		return
+	}
+	sw.congOut--
+	if sw.congOut == 0 {
+		sw.broadcastHint(recn.MsgHintOff)
+	}
+}
+
+func (sw *Switch) broadcastHint(kind recn.MsgKind) {
+	topo := sw.net.topo
+	for p, in := range sw.in {
+		if in == nil || topo.Peer(sw.id, p).Kind != topology.KindSwitch {
+			continue
+		}
+		in.revCh.pushCtl(recn.CtlMsg{Kind: kind})
+	}
 }
 
 // wire connects every used port's outgoing channel to its peer and
@@ -135,6 +179,20 @@ func (sw *Switch) startTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, p *
 	h.q.Pop()
 	if h.idx >= 0 && h.q.Entries() == 0 {
 		in.active.remove(h.idx)
+	}
+	// ECN at the input side, marked on dequeue: with credit-based flow
+	// control the standing backlog accumulates in input RAM (the
+	// upstream of every saturated link), not in the output queue the
+	// egress-side check watches, so a congested port would otherwise
+	// never mark. Dequeue-time marking puts the bit on a packet that is
+	// about to cross the bottleneck and reach its destination at line
+	// rate, closing the feedback loop within the congestion window.
+	if sw.net.cfg.Policy == PolicyThrottle &&
+		!p.Marked && in.pool.Used() >= sw.net.cfg.Throttle.MarkBytes {
+		p.Marked = true
+		if sw.sc.rec != nil {
+			sw.sc.rec.Record(trace.EvMark, in.loc(), "", int64(p.Src), int64(in.pool.Used()), 0)
+		}
 	}
 	dur := units.CrossbarRate.Serialize(p.Size)
 	x := sw.sc.allocXfer()

@@ -315,6 +315,21 @@ type Packet struct {
 	// packet still traverses the fabric and is delivered (and counted)
 	// normally — corruption detection is an end-to-end concern.
 	Corrupted bool
+
+	// Marked is the ECN congestion-experienced bit: set when the packet
+	// was stored into a switch output queue over the marking threshold
+	// (throttle policy only; always false otherwise).
+	Marked bool
+
+	// OvSet/OvHop/OvTurn hold a single-hop adaptive-routing override
+	// (arn policy): while OvSet and OvHop == Hop, NextTurn answers
+	// OvTurn instead of Route[Hop]. The override goes stale the moment
+	// the packet is forwarded (Hop++), so the shared Route slice is
+	// never mutated and the remaining route continues from the
+	// alternate switch unchanged (see topology.UpPortRange).
+	OvSet  bool
+	OvHop  int32
+	OvTurn Turn
 }
 
 // NextTurn returns the output port the packet must take at the current
@@ -322,6 +337,9 @@ type Packet struct {
 func (p *Packet) NextTurn() Turn {
 	if p.Hop >= len(p.Route) {
 		panic(fmt.Sprintf("pkt: packet %d (dst %d) route exhausted at hop %d", p.ID, p.Dst, p.Hop))
+	}
+	if p.OvSet && int(p.OvHop) == p.Hop {
+		return p.OvTurn
 	}
 	return p.Route[p.Hop]
 }

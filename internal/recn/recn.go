@@ -104,6 +104,16 @@ const (
 	MsgXoff
 	// MsgXon resumes it.
 	MsgXon
+	// MsgHintOn / MsgHintOff are not RECN messages: they are the
+	// adaptive-routing congestion hints of the arn policy (a switch
+	// telling every upstream neighbor that at least one of its output
+	// queues crossed the hint threshold, and later that the last one
+	// fell back below it). They ride the same control-message transport
+	// because hints share link bandwidth exactly like RECN control
+	// traffic; carrying them in CtlMsg keeps the channel layer to one
+	// control payload type. Path is unused (empty).
+	MsgHintOn
+	MsgHintOff
 )
 
 func (k MsgKind) String() string {
@@ -116,6 +126,10 @@ func (k MsgKind) String() string {
 		return "xoff"
 	case MsgXon:
 		return "xon"
+	case MsgHintOn:
+		return "hint-on"
+	case MsgHintOff:
+		return "hint-off"
 	default:
 		return fmt.Sprintf("msg(%d)", int(k))
 	}

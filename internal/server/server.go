@@ -109,6 +109,10 @@ type SweepRequest struct {
 	Policies []string `json:"policies,omitempty"`
 	// FaultSpec injects faults into every run (fault.ParsePlan syntax).
 	FaultSpec string `json:"fault_spec,omitempty"`
+	// ThrottleSpec / ARNSpec override the throttle and arn policy
+	// tunables (throttle.ParseSpec / fabric.ParseARNSpec syntax).
+	ThrottleSpec string `json:"throttle_spec,omitempty"`
+	ARNSpec      string `json:"arn_spec,omitempty"`
 	// Shards runs each simulation on the windowed multi-core runtime.
 	Shards int `json:"shards,omitempty"`
 	// Check enables the runtime invariant checker on every run.
@@ -331,14 +335,16 @@ func (s *Server) finishLocked(j *job, state jobState, errMsg string) {
 // streaming per-run and per-figure completion events.
 func (s *Server) execute(ctx context.Context, j *job, spec SweepRequest) ([]*experiments.Table, []namedTrace, error) {
 	o := experiments.Options{
-		Scale:       spec.Scale,
-		PacketSize:  spec.PacketSize,
-		MaxRows:     spec.MaxRows,
-		FaultSpec:   spec.FaultSpec,
-		Shards:      spec.Shards,
-		Check:       spec.Check,
-		Parallelism: s.cfg.Parallelism,
-		Context:     ctx,
+		Scale:        spec.Scale,
+		PacketSize:   spec.PacketSize,
+		MaxRows:      spec.MaxRows,
+		FaultSpec:    spec.FaultSpec,
+		ThrottleSpec: spec.ThrottleSpec,
+		ARNSpec:      spec.ARNSpec,
+		Shards:       spec.Shards,
+		Check:        spec.Check,
+		Parallelism:  s.cfg.Parallelism,
+		Context:      ctx,
 	}
 	if !spec.NoCache {
 		o.Cache = s.cache
@@ -423,6 +429,9 @@ func validate(spec SweepRequest) error {
 		if _, err := fabric.ParsePolicy(name); err != nil {
 			return fmt.Errorf("policies: %w", err)
 		}
+	}
+	if _, err := experiments.ValidatePolicyOptions(nil, spec.ThrottleSpec, spec.ARNSpec); err != nil {
+		return err
 	}
 	if spec.Scale < 0 {
 		return fmt.Errorf("scale: negative (%g)", spec.Scale)

@@ -200,6 +200,9 @@ func TestAdmissionBadRequests(t *testing.T) {
 		{"shards with latency figure", `{"figures":["lat1"],"shards":2}`},
 		{"bad policy", `{"figures":["2a"],"policies":["QQQ"]}`},
 		{"negative scale", `{"figures":["2a"],"scale":-1}`},
+		{"bad throttle key", `{"figures":["shootout"],"throttle_spec":"bogus=1"}`},
+		{"throttle rate out of range", `{"figures":["shootout"],"throttle_spec":"min=2000"}`},
+		{"arn inverted hysteresis", `{"figures":["shootout"],"arn_spec":"on=1024,off=4096"}`},
 	} {
 		code, body := submit(t, ts, tc.body)
 		if code != http.StatusBadRequest {

@@ -1,0 +1,191 @@
+// Package throttle implements the end-point injection-throttling
+// congestion-management policy's rate controller: ECN-style marks set
+// by congested switch output queues travel to the destination, which
+// returns congestion notification packets (CNPs) to the marked source;
+// each source runs an additive-increase/multiplicative-decrease state
+// machine over its injection rate (the DCQCN family of schemes — see
+// DESIGN.md §16).
+//
+// The controller is a pure state machine over integer milli-rates
+// (units of 1/1000 of the line rate): the surrounding fabric owns time,
+// mark transport and the pacing of packets, and calls OnCNP/OnTick.
+// Integer arithmetic keeps runs bit-identical across shard counts and
+// makes the controller trivially unit-testable without a simulator.
+package throttle
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// FullRateMilli is the line rate in milli-units: a source at this rate
+// is not throttled at all (the pacer is bypassed entirely).
+const FullRateMilli = 1000
+
+// Config holds the throttle tunables.
+type Config struct {
+	// MarkBytes is the switch output-queue occupancy at or above which
+	// stored packets are ECN-marked.
+	MarkBytes int
+	// MinRateMilli is the injection-rate floor in milli-units of the
+	// line rate: multiplicative decrease never goes below it, so a
+	// throttled source always makes progress (no livelock).
+	MinRateMilli int
+	// DecreaseMilli is the multiplicative-decrease factor in
+	// milli-units: on a CNP the rate becomes rate·DecreaseMilli/1000
+	// (floored at MinRateMilli). 500 halves the rate.
+	DecreaseMilli int
+	// IncreaseMilli is the additive-increase step: every Period the
+	// rate grows by this many milli-units until it reaches full rate.
+	IncreaseMilli int
+	// Period is the additive-increase timer period.
+	Period sim.Time
+	// FeedbackDelay is the destination→source CNP latency. It must
+	// exceed the link latency so the mailboxed delivery stays
+	// shard-count-invariant (fabric.ScheduleRemote's contract).
+	FeedbackDelay sim.Time
+	// CNPInterval coalesces CNPs at the destination: at most one CNP
+	// per marked source per interval.
+	CNPInterval sim.Time
+}
+
+// DefaultConfig returns the tunables used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		MarkBytes:     16 * 1024,
+		MinRateMilli:  100,
+		DecreaseMilli: 500,
+		IncreaseMilli: 50,
+		Period:        5 * sim.Microsecond,
+		FeedbackDelay: 500 * sim.Nanosecond,
+		CNPInterval:   1 * sim.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MarkBytes <= 0:
+		return fmt.Errorf("throttle: MarkBytes %d ≤ 0", c.MarkBytes)
+	case c.MinRateMilli < 1 || c.MinRateMilli > FullRateMilli:
+		return fmt.Errorf("throttle: MinRateMilli %d outside [1, %d]", c.MinRateMilli, FullRateMilli)
+	case c.DecreaseMilli < 1 || c.DecreaseMilli >= FullRateMilli:
+		return fmt.Errorf("throttle: DecreaseMilli %d outside [1, %d)", c.DecreaseMilli, FullRateMilli)
+	case c.IncreaseMilli < 1 || c.IncreaseMilli > FullRateMilli:
+		return fmt.Errorf("throttle: IncreaseMilli %d outside [1, %d]", c.IncreaseMilli, FullRateMilli)
+	case c.Period <= 0:
+		return fmt.Errorf("throttle: Period %v ≤ 0", c.Period)
+	case c.FeedbackDelay <= 0:
+		return fmt.Errorf("throttle: FeedbackDelay %v ≤ 0", c.FeedbackDelay)
+	case c.CNPInterval < 0:
+		return fmt.Errorf("throttle: negative CNPInterval %v", c.CNPInterval)
+	}
+	return nil
+}
+
+// String renders the canonical spec form (ParseSpec round-trips it).
+func (c Config) String() string {
+	return fmt.Sprintf("mark=%d,min=%d,dec=%d,inc=%d,period=%s,delay=%s,cnp=%s",
+		c.MarkBytes, c.MinRateMilli, c.DecreaseMilli, c.IncreaseMilli,
+		c.Period, c.FeedbackDelay, c.CNPInterval)
+}
+
+// ParseSpec parses a comma-separated key=value tunable spec, starting
+// from DefaultConfig. Keys: mark (bytes), min/dec/inc (milli-rate
+// units), period/delay/cnp (durations, sim.ParseTime syntax). The
+// result is validated.
+func ParseSpec(spec string) (Config, error) {
+	c := DefaultConfig()
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("throttle: field %q is not key=value", field)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "mark", "min", "dec", "inc":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("throttle: %s=%q: %v", key, val, err)
+			}
+			switch key {
+			case "mark":
+				c.MarkBytes = n
+			case "min":
+				c.MinRateMilli = n
+			case "dec":
+				c.DecreaseMilli = n
+			case "inc":
+				c.IncreaseMilli = n
+			}
+		case "period", "delay", "cnp":
+			d, err := sim.ParseTime(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("throttle: %s=%q: %v", key, val, err)
+			}
+			switch key {
+			case "period":
+				c.Period = d
+			case "delay":
+				c.FeedbackDelay = d
+			case "cnp":
+				c.CNPInterval = d
+			}
+		default:
+			return Config{}, fmt.Errorf("throttle: unknown key %q (valid: mark, min, dec, inc, period, delay, cnp)", key)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// State is one source's AIMD rate state. The zero value is invalid;
+// use NewState.
+type State struct {
+	// RateMilli is the current injection rate in milli-units of the
+	// line rate, always within [Config.MinRateMilli, FullRateMilli].
+	RateMilli int
+}
+
+// NewState returns a source at full injection rate.
+func NewState() State { return State{RateMilli: FullRateMilli} }
+
+// OnCNP applies the multiplicative decrease for one received CNP.
+func (s *State) OnCNP(c Config) {
+	r := s.RateMilli * c.DecreaseMilli / FullRateMilli
+	if r < c.MinRateMilli {
+		r = c.MinRateMilli
+	}
+	s.RateMilli = r
+}
+
+// OnTick applies one additive-increase step and reports whether the
+// source is back at full rate (the caller stops its timer then).
+func (s *State) OnTick(c Config) bool {
+	r := s.RateMilli + c.IncreaseMilli
+	if r >= FullRateMilli {
+		r = FullRateMilli
+	}
+	s.RateMilli = r
+	return r == FullRateMilli
+}
+
+// Full reports whether the source is at full injection rate.
+func (s *State) Full() bool { return s.RateMilli == FullRateMilli }
+
+// SettleTicks bounds the additive-increase ticks needed to return any
+// valid state to full rate once CNPs stop: the recovery-time guarantee
+// the invariant checker and the property tests rely on.
+func SettleTicks(c Config) int {
+	return (FullRateMilli - c.MinRateMilli + c.IncreaseMilli - 1) / c.IncreaseMilli
+}

@@ -1,0 +1,126 @@
+package throttle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randConfig builds a valid config with randomized tunables.
+func randConfig(rng *rand.Rand) Config {
+	c := DefaultConfig()
+	c.MinRateMilli = 1 + rng.Intn(400)
+	c.DecreaseMilli = 100 + rng.Intn(800)
+	c.IncreaseMilli = 1 + rng.Intn(200)
+	c.MarkBytes = 1 + rng.Intn(1<<20)
+	return c
+}
+
+// Under any interleaving of CNPs and AI ticks the rate must stay inside
+// [MinRateMilli, FullRateMilli] — the invariant the runtime checker
+// also audits mid-simulation.
+func TestRateStaysBoundedUnderArbitraryMarks(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randConfig(rng)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := NewState()
+		for step := 0; step < 10_000; step++ {
+			if rng.Intn(2) == 0 {
+				s.OnCNP(c)
+			} else {
+				s.OnTick(c)
+			}
+			if s.RateMilli < c.MinRateMilli || s.RateMilli > FullRateMilli {
+				t.Fatalf("seed %d step %d: rate %d outside [%d, %d]",
+					seed, step, s.RateMilli, c.MinRateMilli, FullRateMilli)
+			}
+		}
+	}
+}
+
+// Once CNPs stop, a source must return to full rate within SettleTicks
+// additive-increase periods, from any reachable state — the bound the
+// fabric's quiesce check relies on.
+func TestQuiescentSourceSettlesWithinBound(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randConfig(rng)
+		s := NewState()
+		// Drive to an arbitrary reachable state.
+		for i := 0; i < rng.Intn(100); i++ {
+			s.OnCNP(c)
+		}
+		bound := SettleTicks(c)
+		ticks := 0
+		for !s.Full() {
+			if s.OnTick(c) {
+				break
+			}
+			ticks++
+			if ticks > bound {
+				t.Fatalf("seed %d: not settled after %d ticks (bound %d, rate %d)",
+					seed, ticks, bound, s.RateMilli)
+			}
+		}
+		if !s.Full() {
+			t.Fatalf("seed %d: settled without reaching full rate", seed)
+		}
+	}
+}
+
+// OnTick reports true exactly when the source reaches (or is at) full
+// rate, and a full source is never charged further increase.
+func TestTickAtFullRateIsIdempotent(t *testing.T) {
+	c := DefaultConfig()
+	s := NewState()
+	if !s.Full() {
+		t.Fatalf("fresh state not at full rate: %d", s.RateMilli)
+	}
+	if !s.OnTick(c) {
+		t.Fatal("OnTick at full rate must report settled")
+	}
+	if s.RateMilli != FullRateMilli {
+		t.Fatalf("rate overshot: %d", s.RateMilli)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randConfig(rng)
+		back, err := ParseSpec(c.String())
+		if err != nil {
+			t.Fatalf("seed %d: ParseSpec(%q): %v", seed, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("seed %d: round trip %q -> %+v, want %+v", seed, c.String(), back, c)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",          // unknown key
+		"mark",             // not key=value
+		"mark=xyz",         // not a number
+		"min=0",            // below floor
+		"min=2000",         // above line rate
+		"dec=1001",         // increase disguised as decrease
+		"inc=0",            // no recovery
+		"period=5",         // missing time unit
+		"delay=-1us",       // negative duration
+		"mark=16384,min=,", // empty value
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", spec)
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

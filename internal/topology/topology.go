@@ -201,6 +201,20 @@ func (t *Topology) UpPorts(level int) int {
 	return t.radices[level+1]
 }
 
+// UpPortRange returns the contiguous range [lo, lo+n) of ascent (up)
+// ports at a switch (n == 0 at the top stage). On these trees every up
+// port of a switch reaches an ancestor from which any packet's
+// remaining route stays valid: the ascent turn at level l only selects
+// which level-(l+1) switch forwards the packet (Peer changes switch
+// digit l alone), while all later route turns depend only on the
+// destination and the hop's level (see Route). A packet about to take
+// one up port may therefore take any of them — the interchangeability
+// adaptive-routing policies exploit (TestUpPortsInterchangeable locks
+// the property).
+func (t *Topology) UpPortRange(sw int) (lo, n int) {
+	return t.k, t.UpPorts(t.SwitchLevel(sw))
+}
+
 // hostDigit extracts digit i (radix radices[i]) of host h.
 func (t *Topology) hostDigit(h, i int) int {
 	return h / t.placeValue[i] % t.radices[i]

@@ -66,6 +66,13 @@ const (
 	// EvWatchdog: the recovery layer acted. A=action
 	// (WatchStall..WatchCreditViolation), B=count or bytes.
 	EvWatchdog
+	// EvMark: throttle policy — A=1: a packet was ECN-marked at a
+	// congested output queue (B=queued bytes); A=0: the destination
+	// scheduled a CNP back to the marked source (B=source).
+	EvMark
+	// EvHint: arn policy — a congestion hint was broadcast (Loc is the
+	// congested switch's output port, A=1 for hint-on, 0 for hint-off).
+	EvHint
 
 	numEventKinds
 )
@@ -73,6 +80,7 @@ const (
 var kindNames = [numEventKinds]string{
 	"send", "recv", "drop", "saq-alloc", "saq-dealloc", "cam-hit", "cam-miss",
 	"notify", "token", "xoff", "xon", "credit", "fault", "watchdog",
+	"mark", "hint",
 }
 
 func (k EventKind) String() string {
@@ -106,6 +114,7 @@ var maskGroups = []struct {
 	{"cam", 1<<EvCAMHit | 1<<EvCAMMiss},
 	{"flow", 1<<EvXoff | 1<<EvXon},
 	{"tree", 1<<EvSAQAlloc | 1<<EvSAQDealloc | 1<<EvToken | 1<<EvNotify},
+	{"policy", 1<<EvMark | 1<<EvHint},
 }
 
 // ParseEvents parses a comma-separated event spec ("saq,token" or

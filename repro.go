@@ -263,6 +263,10 @@ const (
 	PolicyVOQsw  = fabric.PolicyVOQsw
 	PolicyVOQnet = fabric.PolicyVOQnet
 	PolicyRECN   = fabric.PolicyRECN
+	// Extensions beyond the paper: ECN-style source throttling and
+	// hint-driven adaptive routing (the shoot-out challengers).
+	PolicyThrottle = fabric.PolicyThrottle
+	PolicyARN      = fabric.PolicyARN
 )
 
 // Time units.
@@ -277,6 +281,13 @@ var Policies = fabric.Policies
 
 // ParsePolicy converts a mechanism name ("RECN", "1Q", …) to a Policy.
 func ParsePolicy(s string) (Policy, error) { return fabric.ParsePolicy(s) }
+
+// ValidatePolicyOptions resolves policy names and validates the
+// throttle / arn tunable specs up front, so callers fail fast on a bad
+// request instead of partway through a sweep.
+func ValidatePolicyOptions(names []string, throttleSpec, arnSpec string) ([]Policy, error) {
+	return experiments.ValidatePolicyOptions(names, throttleSpec, arnSpec)
+}
 
 // NewTopology builds the paper's network for 64, 256 or 512 hosts (or
 // any power of 4).
