@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix server-smoke shootout policy-matrix
+.PHONY: all build test race bench chaos-soak chaos-soak-long bench-guard bench-shards shard-matrix server-smoke shootout policy-matrix scale-smoke
 
 all: build test
 
@@ -63,6 +63,21 @@ policy-matrix:
 	$(GO) test -race -run 'TestThrottle|TestARN' ./internal/fabric/
 	$(GO) test -race -run 'TestShootout|TestDispatchGolden|TestValidatePolicyOptions' ./internal/experiments/
 	$(GO) test -race -run TestAdmissionBadRequests ./internal/server/
+
+# The memory-scaling smoke: the lazy-state equivalence and fat-tree
+# battery under the race detector, the 1k-host fat-tree scaling figure
+# at -shards 1 vs 4 (byte-identity), the 4k scale-benchmark guard
+# against the committed BENCH_PR11.json curve, and a short chaos soak
+# (which samples the fat-tree topology on a quarter of its seeds).
+scale-smoke:
+	$(GO) test -race -run 'TestFatTree|TestLazyEager|TestScaling|TestLazyState|LazyMatchesDense|TestEagerMemStats|TestLazyConstruction' ./internal/topology/ ./internal/fabric/ ./internal/experiments/
+	$(GO) test -race -run TestScaleBenchSmoke .
+	$(GO) build -o /tmp/recnsim-scale ./cmd/recnsim
+	/tmp/recnsim-scale -fig scaling1k -scale 0.02 -q -shards 1 > /tmp/scaling1k-s1.txt
+	/tmp/recnsim-scale -fig scaling1k -scale 0.02 -q -shards 4 > /tmp/scaling1k-s4.txt
+	cmp /tmp/scaling1k-s1.txt /tmp/scaling1k-s4.txt
+	SCALE_BENCH_BASELINE=BENCH_PR11.json $(GO) test -run TestScaleBenchGuard -v .
+	$(GO) test -race -run TestChaosSoak ./internal/check/chaos/ -chaos.seeds 12
 
 # The windowed runtime's bit-identity matrix under the race detector:
 # shard validation, report/figure identity across shard counts, and the

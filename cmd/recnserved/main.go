@@ -10,6 +10,7 @@
 // Submit, poll, fetch and stream:
 //
 //	curl -X POST localhost:8080/v1/sweeps -d '{"figures":["2a"],"scale":0.05}'
+//	curl -X POST localhost:8080/v1/sweeps -d '{"figures":["scaling1k"],"topo":"fattree","scale":0.05}'
 //	curl localhost:8080/v1/sweeps/s000001
 //	curl localhost:8080/v1/sweeps/s000001/results
 //	curl -N localhost:8080/v1/sweeps/s000001/events

@@ -8,8 +8,10 @@
 //	recnsim -all [-scale 0.25]
 //
 // Figure IDs: table1, 2a–2d, 3a/3b, 4a/4b, 5a/5b, 6a/6b,
-// pkt512a/pkt512b, a1–a4. Scale 1.0 runs the paper's full durations
-// (slow); smaller scales compress simulated time proportionally.
+// pkt512a/pkt512b, a1–a4, and the extensions (lat1/lat2, shootout,
+// scaling/scaling1k — the memory-scaling figures on the fat tree).
+// Scale 1.0 runs the paper's full durations (slow); smaller scales
+// compress simulated time proportionally.
 //
 // With -trace, the figure's RECN run carries a flight recorder and its
 // contents are exported as Chrome trace_event JSON — open the file at
@@ -44,6 +46,8 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress timing output")
 		format   = flag.String("format", "text", "output format: text or csv")
 		policies = flag.String("policies", "", "comma-separated mechanisms to run where the figure allows it, e.g. 'RECN,VOQnet' (default per figure)")
+		topo     = flag.String("topo", "", "network topology where the figure allows it: min, fattree, mesh (default per figure; 'list' prints the names and exits)")
+		eager    = flag.Bool("eager", false, "fully preallocate per-port state instead of lazy materialization (identical output; only the memory columns and the process footprint move)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'seed=1,drop=token:2,droprate=credit:0.01,flap=0:4:100us:140us' (recovery watchdogs enabled; accounting printed in table notes)")
 		thrSpec  = flag.String("throttle", "", "throttle policy tunables, e.g. 'mark=16384,min=100,dec=500,inc=50,period=5us,delay=500ns,cnp=1us' (defaults apply to omitted keys)")
 		arnSpec  = flag.String("arn", "", "arn policy tunables, e.g. 'on=16384,off=4096' (hint hysteresis thresholds in bytes)")
@@ -60,6 +64,19 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	)
 	flag.Parse()
+
+	// -topo list is an escape hatch: print the accepted names and exit
+	// before anything else (profiling included) starts.
+	if *topo == "list" {
+		fmt.Println(strings.ReplaceAll(repro.TopologyNames(), ", ", "\n"))
+		return
+	}
+	if !repro.ValidTopology(*topo) {
+		fatal(fmt.Errorf("-topo %q: unknown topology (valid: %s; -topo list prints them)", *topo, repro.TopologyNames()))
+	}
+	if *fig != "" && !repro.KnownFigure(*fig) {
+		fatal(fmt.Errorf("-fig %q: unknown figure (valid: %s)", *fig, strings.Join(repro.FigureIDs(), ", ")))
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -87,6 +104,8 @@ func main() {
 		Parallelism:  *j,
 		Shards:       *shards,
 		Check:        *chk,
+		Topo:         *topo,
+		EagerState:   *eager,
 	}
 	// Validate mechanism names and policy tunables up front, before any
 	// (possibly long) simulation starts.

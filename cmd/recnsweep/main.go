@@ -52,6 +52,7 @@ func main() {
 		chk     = flag.Bool("check", false, "enable the runtime invariant checker on every run (checked runs bypass the cache)")
 		thrSpec = flag.String("throttle", "", "throttle policy tunables, e.g. 'mark=16384,min=100' (defaults apply to omitted keys)")
 		arnSpec = flag.String("arn", "", "arn policy tunables, e.g. 'on=16384,off=4096'")
+		topo    = flag.String("topo", "", "network topology where the figure allows it: min, fattree, mesh (default per figure; 'list' prints the names and exits)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
@@ -61,8 +62,12 @@ func main() {
 		fmt.Println(strings.Join(repro.FigureIDs(), "\n"))
 		return
 	}
+	if *topo == "list" {
+		fmt.Println(strings.ReplaceAll(repro.TopologyNames(), ", ", "\n"))
+		return
+	}
 	// All flag validation happens before any simulation starts.
-	if err := validateFlags(*sweep, *j, *shards, *cache); err != nil {
+	if err := validateFlags(*sweep, *j, *shards, *cache, *topo); err != nil {
 		fmt.Fprintf(os.Stderr, "recnsweep: %v\n", err)
 		os.Exit(2)
 	}
@@ -86,7 +91,7 @@ func main() {
 	// sweep returns ErrCanceled (handled by fail below).
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk, Context: ctx, ThrottleSpec: *thrSpec, ARNSpec: *arnSpec}
+	o := repro.Options{Scale: *scale, Parallelism: *j, Shards: *shards, CacheDir: *cache, NoCache: *noCache, Check: *chk, Context: ctx, ThrottleSpec: *thrSpec, ARNSpec: *arnSpec, Topo: *topo}
 	// A failed cache write does not fail a sweep (the result is fresh
 	// and correct), but it must not pass silently either: without the
 	// warning a full disk or revoked permission would quietly
@@ -156,12 +161,16 @@ func fail(prefix string, err error) {
 	os.Exit(1)
 }
 
-// validateFlags rejects a bad worker count, shard count, an unusable
-// cache directory, or a shards/latency-figure combination up front,
-// naming the offending flag; nothing simulates until all pass.
-func validateFlags(sweep string, j, shards int, cacheDir string) error {
+// validateFlags rejects a bad worker count, shard count, topology
+// name, an unusable cache directory, or a shards/latency-figure
+// combination up front, naming the offending flag; nothing simulates
+// until all pass.
+func validateFlags(sweep string, j, shards int, cacheDir, topo string) error {
 	if j < 1 {
 		return fmt.Errorf("-j %d: want at least 1 worker", j)
+	}
+	if !repro.ValidTopology(topo) {
+		return fmt.Errorf("-topo %q: unknown topology (valid: %s; -topo list prints them)", topo, repro.TopologyNames())
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards %d: want 0 (serial) or a positive shard count", shards)

@@ -11,7 +11,7 @@ import (
 // offending flag (the style of recnsim's -policies check).
 func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
 	for _, j := range []int{0, -1, -8} {
-		err := validateFlags("saqs", j, 0, "")
+		err := validateFlags("saqs", j, 0, "", "")
 		if err == nil {
 			t.Errorf("validateFlags(j=%d) accepted", j)
 			continue
@@ -23,7 +23,7 @@ func TestValidateFlagsRejectsBadWorkerCounts(t *testing.T) {
 }
 
 func TestValidateFlagsRejectsNegativeShards(t *testing.T) {
-	err := validateFlags("saqs", 1, -2, "")
+	err := validateFlags("saqs", 1, -2, "", "")
 	if err == nil {
 		t.Fatal("validateFlags accepted a negative shard count")
 	}
@@ -37,7 +37,7 @@ func TestValidateFlagsRejectsNegativeShards(t *testing.T) {
 // not four figures into an `all` sweep.
 func TestValidateFlagsRejectsShardsWithLatencyFigures(t *testing.T) {
 	for _, sweep := range []string{"lat1", "lat2", "all", "figures", "LAT1"} {
-		err := validateFlags(sweep, 1, 2, "")
+		err := validateFlags(sweep, 1, 2, "", "")
 		if err == nil {
 			t.Errorf("validateFlags(sweep=%q, shards=2) accepted", sweep)
 			continue
@@ -48,8 +48,25 @@ func TestValidateFlagsRejectsShardsWithLatencyFigures(t *testing.T) {
 	}
 	// Non-latency sweeps keep working with shards.
 	for _, sweep := range []string{"saqs", "2a", "6b"} {
-		if err := validateFlags(sweep, 1, 2, ""); err != nil {
+		if err := validateFlags(sweep, 1, 2, "", ""); err != nil {
 			t.Errorf("validateFlags(sweep=%q, shards=2) = %v", sweep, err)
+		}
+	}
+}
+
+// A bad topology name must be rejected before anything simulates, and
+// every accepted name (plus the empty per-figure default) must pass.
+func TestValidateFlagsTopology(t *testing.T) {
+	err := validateFlags("saqs", 1, 0, "", "hypercube")
+	if err == nil {
+		t.Fatal("validateFlags accepted topology \"hypercube\"")
+	}
+	if !strings.Contains(err.Error(), "-topo") || !strings.Contains(err.Error(), "fattree") {
+		t.Errorf("error %q does not name -topo and the valid names", err)
+	}
+	for _, topo := range []string{"", "min", "fattree", "fat-tree", "mesh", "FatTree"} {
+		if err := validateFlags("saqs", 1, 0, "", topo); err != nil {
+			t.Errorf("validateFlags(topo=%q) = %v", topo, err)
 		}
 	}
 }
@@ -61,7 +78,7 @@ func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := validateFlags("saqs", 1, 0, filepath.Join(file, "sub"))
+	err := validateFlags("saqs", 1, 0, filepath.Join(file, "sub"), "")
 	if err == nil {
 		t.Fatal("validateFlags accepted a cache dir under a regular file")
 	}
@@ -71,11 +88,11 @@ func TestValidateFlagsRejectsUnwritableCacheDir(t *testing.T) {
 }
 
 func TestValidateFlagsAccepts(t *testing.T) {
-	if err := validateFlags("saqs", 1, 0, ""); err != nil {
+	if err := validateFlags("saqs", 1, 0, "", ""); err != nil {
 		t.Errorf("validateFlags(saqs, 1, 0, \"\") = %v", err)
 	}
 	dir := filepath.Join(t.TempDir(), "cache")
-	if err := validateFlags("boost", 8, 4, dir); err != nil {
+	if err := validateFlags("boost", 8, 4, dir, ""); err != nil {
 		t.Errorf("validateFlags(boost, 8, 4, %q) = %v", dir, err)
 	}
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {

@@ -37,6 +37,11 @@ type Scenario struct {
 	// "throttle", "arn", ...); empty means RECN, so pre-existing
 	// hand-written scenarios keep their meaning.
 	Policy string
+	// Topo selects the routing function: "" or "min" is the paper's
+	// deterministic MIN, "fattree" the adaptive-ascent k-ary n-tree.
+	// Both share the same physical wiring (the fat tree only overrides
+	// Route), so fault fragments are valid under either.
+	Topo string
 }
 
 // settle is how long past the injection horizon a run may take to
@@ -53,7 +58,22 @@ func (s Scenario) Spec() string {
 }
 
 func (s Scenario) String() string {
-	return fmt.Sprintf("chaos{seed=%d hosts=%d policy=%s until=%v spec=%q}", s.Seed, s.Hosts, s.policyName(), s.Until, s.Spec())
+	return fmt.Sprintf("chaos{seed=%d hosts=%d policy=%s topo=%s until=%v spec=%q}", s.Seed, s.Hosts, s.policyName(), s.topoName(), s.Until, s.Spec())
+}
+
+func (s Scenario) topoName() string {
+	if s.Topo == "" {
+		return "min"
+	}
+	return s.Topo
+}
+
+// buildTopo resolves the scenario's topology.
+func (s Scenario) buildTopo() (fabric.Topology, error) {
+	if s.topoName() == "fattree" {
+		return topology.NewFatTree(s.Hosts)
+	}
+	return topology.ForHosts(s.Hosts)
 }
 
 func (s Scenario) policyName() string {
@@ -127,6 +147,13 @@ func Generate(seed int64, hosts int) (Scenario, error) {
 	// from the RECN-only soaks; the soak now also samples the
 	// congestion-management challengers.
 	s.Policy = []string{"RECN", "throttle", "arn"}[rng.Intn(3)]
+	// Drawn last for the same reason: a quarter of the scenarios run on
+	// the adaptive fat tree (same wiring, different routing), so the
+	// soak covers the scaling figures' topology without perturbing any
+	// earlier per-seed draw.
+	if rng.Intn(4) == 0 {
+		s.Topo = "fattree"
+	}
 	return s, nil
 }
 
@@ -156,7 +183,7 @@ func (s Scenario) Run() error {
 }
 
 func (s Scenario) run() (err error) {
-	topo, err := topology.ForHosts(s.Hosts)
+	topo, err := s.buildTopo()
 	if err != nil {
 		return err
 	}
@@ -232,7 +259,7 @@ func (s Scenario) RunSharded(k int) error {
 }
 
 func (s Scenario) runSharded(k int) (err error) {
-	topo, err := topology.ForHosts(s.Hosts)
+	topo, err := s.buildTopo()
 	if err != nil {
 		return err
 	}

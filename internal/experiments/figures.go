@@ -22,6 +22,14 @@ type Options struct {
 	MaxRows int
 	// Policies overrides the mechanism list where applicable.
 	Policies []fabric.Policy
+	// Topo selects the topology family for every run ("" = the paper's
+	// perfect-shuffle MIN; see Run.Topo / BuildTopology).
+	Topo string
+	// EagerState disables the fabric's lazy state materialization on
+	// every run (see Run.EagerState). Figure output is bit-identical
+	// either way; the flag exists for the equivalence tests and for
+	// measuring the eager memory footprint.
+	EagerState bool
 	// FaultSpec, if non-empty, injects faults into every run (see
 	// fault.ParsePlan for the syntax) with the default recovery layer
 	// enabled; the per-run fault/recovery accounting is appended to the
@@ -294,6 +302,8 @@ func runPolicies(hosts int, policies []fabric.Policy, o Options, key string,
 			Hosts:        hosts,
 			Policy:       p,
 			PacketSize:   o.PacketSize,
+			Topo:         o.Topo,
+			EagerState:   o.EagerState,
 			Key:          key,
 			Workload:     workload,
 			Until:        until,
@@ -521,6 +531,8 @@ func runAblations(o Options, cases []ablationCase) ([]AblationResult, error) {
 			Hosts:      64,
 			Policy:     fabric.PolicyRECN,
 			PacketSize: o.PacketSize,
+			Topo:       o.Topo,
+			EagerState: o.EagerState,
 			Key:        cornerKey(2) + "|" + c.keyFor,
 			Workload:   workload,
 			Until:      until,

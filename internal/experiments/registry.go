@@ -75,6 +75,14 @@ var figureRunners = map[string]figureRunner{
 		return []*Table{t}, err
 	},
 	"shootout": Shootout,
+	"scaling": func(o Options) ([]*Table, error) {
+		t, err := Scaling(4096, o)
+		return []*Table{t}, err
+	},
+	"scaling1k": func(o Options) ([]*Table, error) {
+		t, err := Scaling(1024, o)
+		return []*Table{t}, err
+	},
 }
 
 // figureRuns estimates, per figure ID, how many simulations Reproduce
@@ -93,6 +101,7 @@ var figureRuns = map[string]int{
 	"a1": 5, "a2": 5, "a3": 2, "a4": 2,
 	"lat1": 3, "lat2": 3,
 	"shootout": 20,
+	"scaling": 4, "scaling1k": 4,
 }
 
 func fig2Runner(corner, pktSize int) figureRunner {

@@ -101,6 +101,16 @@ type Run struct {
 	Hosts      int
 	Policy     fabric.Policy
 	PacketSize int
+	// Topo selects the topology family: "" or "min" is the paper's
+	// perfect-shuffle MIN, "fattree" the k-ary n-tree with deterministic
+	// adaptive up-routing, "mesh" a square 2D mesh (Hosts must be a
+	// perfect square). See BuildTopology.
+	Topo string
+	// EagerState disables the fabric's lazy queue/credit
+	// materialization (fabric.Config.EagerState): results are
+	// bit-identical either way, but the memory accounting differs, so
+	// the flag is part of the spec key.
+	EagerState bool
 	// Key names the non-declarative parts of the spec (the Workload and
 	// Mutate closures) for the sweep engine: it feeds SpecKey/SpecHash,
 	// which identify the run in the result cache and derive the run's
@@ -180,8 +190,96 @@ type Result struct {
 	// Faults is the fault/recovery accounting (nil when the run had
 	// neither fault injection nor recovery configured).
 	Faults *stats.FaultReport
+	// Mem is the end-of-run materialized-state accounting (nil on
+	// results loaded from cache entries that predate the memory model).
+	Mem *stats.MemReport
 	// Trace is the run's flight recorder (nil when tracing was off).
 	Trace *trace.Recorder
+}
+
+// buildConfig resolves the run's declarative fields into a fabric
+// configuration: topology, policy, packet size and the port-memory
+// sizing rules. ExecuteContext layers the tunable specs and Mutate on
+// top; EagerMemModel reuses it so the analytic eager footprint is
+// computed for exactly the configuration the run simulates.
+func (r Run) buildConfig() (fabric.Config, error) {
+	topo, err := BuildTopology(r.Topo, r.Hosts)
+	if err != nil {
+		return fabric.Config{}, err
+	}
+	cfg := fabric.DefaultConfig(topo)
+	cfg.Policy = r.Policy
+	cfg.EagerState = r.EagerState
+	if r.PacketSize > 0 {
+		cfg.PacketSize = r.PacketSize
+	}
+	// The paper gives the 512-host network 192 KB ports so VOQnet can
+	// hold one queue per destination (§4.1).
+	if r.Policy == fabric.PolicyVOQnet && r.Hosts == 512 {
+		cfg.PortMemory = units.PortMemoryLarge
+	}
+	// Beyond the paper's sizes the same rule generalizes: VOQnet needs
+	// one queue per destination at every port, so give each queue room
+	// for four packets (the 1k/4k scaling runs; lazy materialization
+	// means the nominal RAM is never actually allocated up front).
+	if r.Policy == fabric.PolicyVOQnet && r.Hosts >= 1024 {
+		cfg.PortMemory = r.Hosts * cfg.PacketSize * 4
+	}
+	return cfg, nil
+}
+
+// EagerMemModel returns the analytic construction-time footprint the
+// run's configuration would have fully preallocated (EagerState forced
+// on) — the denominator of the scaling figure's lazy-vs-eager ratio.
+func (r Run) EagerMemModel() (stats.MemReport, error) {
+	cfg, err := r.buildConfig()
+	if err != nil {
+		return stats.MemReport{}, err
+	}
+	if r.Mutate != nil {
+		r.Mutate(&cfg)
+	}
+	cfg.EagerState = true
+	return fabric.EagerMemModel(cfg), nil
+}
+
+// BuildTopology resolves a topology name and host count (see Run.Topo).
+// Unknown names list the valid ones, so CLI -topo validation and error
+// text stay in one place.
+func BuildTopology(name string, hosts int) (fabric.Topology, error) {
+	switch strings.ToLower(name) {
+	case "", "min":
+		return topology.ForHosts(hosts)
+	case "fattree", "fat-tree":
+		return topology.NewFatTree(hosts)
+	case "mesh":
+		side := 1
+		for side*side < hosts {
+			side++
+		}
+		if side*side != hosts {
+			return nil, fmt.Errorf("experiments: mesh topology needs a square host count, got %d", hosts)
+		}
+		return topology.NewMesh(side, side)
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology %q (valid: %s)", name, TopologyNames())
+	}
+}
+
+// TopologyNames lists every Run.Topo value BuildTopology accepts, for
+// usage strings and error messages.
+func TopologyNames() string { return "min, fattree, mesh" }
+
+// ValidTopology reports whether BuildTopology accepts the name (host
+// count constraints aside — a mesh still wants a square host count).
+// CLIs and the sweep daemon use it to reject topology selections
+// before any simulation starts.
+func ValidTopology(name string) bool {
+	switch strings.ToLower(name) {
+	case "", "min", "fattree", "fat-tree", "mesh":
+		return true
+	}
+	return false
 }
 
 // Execute builds the network, installs the workload and simulates.
@@ -207,19 +305,9 @@ func (r Run) ExecuteContext(ctx context.Context) (*Result, error) {
 	if r.Bin <= 0 {
 		r.Bin = r.Until / 100
 	}
-	topo, err := topology.ForHosts(r.Hosts)
+	cfg, err := r.buildConfig()
 	if err != nil {
 		return nil, err
-	}
-	cfg := fabric.DefaultConfig(topo)
-	cfg.Policy = r.Policy
-	if r.PacketSize > 0 {
-		cfg.PacketSize = r.PacketSize
-	}
-	// The paper gives the 512-host network 192 KB ports so VOQnet can
-	// hold one queue per destination (§4.1).
-	if r.Policy == fabric.PolicyVOQnet && r.Hosts == 512 {
-		cfg.PortMemory = units.PortMemoryLarge
 	}
 	if r.ThrottleSpec != "" {
 		if cfg.Throttle, err = throttle.ParseSpec(r.ThrottleSpec); err != nil {
@@ -367,6 +455,8 @@ func (r Run) ExecuteContext(ctx context.Context) (*Result, error) {
 	res.OrderViolations = net.OrderViolations
 	res.Events = net.TotalEvents()
 	res.Faults = net.FaultReport()
+	mem := net.MemStats()
+	res.Mem = &mem
 	if rec != nil {
 		res.Trace = net.MergedTracer()
 	}

@@ -48,6 +48,15 @@ func (r Run) SpecKey() string {
 	if r.ARNSpec != "" {
 		k += "|arn=" + r.ARNSpec
 	}
+	// Topology and eager-state markers follow the same append-only rule:
+	// the default ("" = MIN, lazy) leaves every pre-existing key — and
+	// with it every cache entry and derived seed — byte-identical.
+	if r.Topo != "" {
+		k += "|topo=" + r.Topo
+	}
+	if r.EagerState {
+		k += "|eager=true"
+	}
 	return k
 }
 
@@ -322,6 +331,10 @@ func (res *Result) Report() stats.Report {
 		f := *res.Faults
 		rep.Faults = &f
 	}
+	if res.Mem != nil {
+		m := *res.Mem
+		rep.Mem = &m
+	}
 	return rep
 }
 
@@ -348,6 +361,10 @@ func ResultFromReport(policy fabric.Policy, rep stats.Report) (*Result, error) {
 	if rep.Faults != nil {
 		f := *rep.Faults
 		res.Faults = &f
+	}
+	if rep.Mem != nil {
+		m := *rep.Mem
+		res.Mem = &m
 	}
 	return res, nil
 }

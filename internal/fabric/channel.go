@@ -137,8 +137,11 @@ type channel struct {
 	fv *fault.View
 }
 
-func newChannel(sc *shardCtx, src dataSource, sink linkSink) *channel {
-	ch := &channel{
+// init builds a channel in place (channels are embedded in their owning
+// egress unit; the *channel handle is set at attach time, so a nil
+// handle still means "unattached").
+func (ch *channel) init(sc *shardCtx, src dataSource, sink linkSink) {
+	*ch = channel{
 		net:     sc.n,
 		sc:      sc,
 		src:     src,
@@ -147,7 +150,6 @@ func newChannel(sc *shardCtx, src dataSource, sink linkSink) *channel {
 		latency: sc.n.cfg.LinkLatency,
 	}
 	ch.attemptFn = ch.attempt
-	return ch
 }
 
 // flight returns the messages sent but not yet delivered on this

@@ -58,7 +58,8 @@ func newTestChannel(t *testing.T) (*Network, *fakeSource, *fakeSink, *channel) {
 	net.base = &shardCtx{n: net, id: -1, eng: net.Engine, cnt: &net.netCounters, lastSeq: make(map[uint64]uint64)}
 	src := &fakeSource{}
 	sink := &fakeSink{eng: net.Engine}
-	ch := newChannel(net.base, src, sink)
+	ch := &channel{}
+	ch.init(net.base, src, sink)
 	return net, src, sink, ch
 }
 
@@ -129,7 +130,8 @@ func TestChannelSerializesBackToBack(t *testing.T) {
 }
 
 func TestActiveList(t *testing.T) {
-	a := newActiveList(8)
+	var a activeList
+	a.init(8, false)
 	a.add(3)
 	a.add(5)
 	a.add(3) // duplicate is a no-op

@@ -116,12 +116,13 @@ func (n *Network) checkTick() {
 }
 
 // queuedPackets counts every packet currently held in a port's queues
-// (class/policy queues plus SAQs; markers are not packets).
-func queuedPackets(qs []*mempool.Queue, rc saqRanger) int {
+// (class/policy queues plus SAQs; markers are not packets). Untouched
+// lazy queues hold nothing and are skipped.
+func queuedPackets(qs *queueSet, rc saqRanger) int {
 	c := 0
-	for _, q := range qs {
+	qs.forEach(func(_ int, q *mempool.Queue) {
 		c += q.Packets()
-	}
+	})
 	if rc != nil {
 		rc.ForEachSAQ(func(s *recn.SAQ) { c += s.Q.Packets() })
 	}
@@ -151,18 +152,18 @@ func (n *Network) auditConservation() {
 	census := uint64(n.liveXferCount())
 	for _, nic := range n.nics {
 		census += uint64(nic.backlog)
-		census += uint64(queuedPackets(nic.inj.qs, egressRanger(nic.inj.rc)))
+		census += uint64(queuedPackets(&nic.inj.qs, egressRanger(nic.inj.rc)))
 		census += uint64(nic.inj.ch.dataFlight())
 	}
 	for _, sw := range n.switches {
 		for _, in := range sw.in {
 			if in != nil {
-				census += uint64(queuedPackets(in.qs, ingressRanger(in.rc)))
+				census += uint64(queuedPackets(&in.qs, ingressRanger(in.rc)))
 			}
 		}
 		for _, out := range sw.out {
 			if out != nil {
-				census += uint64(queuedPackets(out.qs, egressRanger(out.rc)))
+				census += uint64(queuedPackets(&out.qs, egressRanger(out.rc)))
 				census += uint64(out.ch.dataFlight())
 			}
 		}
@@ -185,12 +186,12 @@ func (n *Network) auditCreditBounds() {
 			n.check.Failf(check.RuleCreditBounds, u.loc(),
 				"port credits %d outside [0, %d]", u.portCredits, u.initPort)
 		}
-		for i, c := range u.queueCredits {
-			if c < 0 || c > u.initQueue {
+		u.queueCredits.forEachSlot(func(i int, slot *int) {
+			if c := *slot; c < 0 || c > u.initQueue {
 				n.check.Failf(check.RuleCreditBounds, u.loc(),
 					"queue %d credits %d outside [0, %d]", i, c, u.initQueue)
 			}
-		}
+		})
 	}
 	for _, sw := range n.switches {
 		for _, out := range sw.out {
@@ -307,10 +308,10 @@ func (n *Network) buildWaitGraph() *check.WaitGraph {
 			g.Edge(from, fmt.Sprintf("sw%d.out%d", swID, p.NextTurn()))
 		}
 	}
-	headEdges := func(from string, swID int, qs []*mempool.Queue, rc saqRanger) {
-		for _, q := range qs {
+	headEdges := func(from string, swID int, qs *queueSet, rc saqRanger) {
+		qs.forEach(func(_ int, q *mempool.Queue) {
 			headEdge(from, swID, q)
-		}
+		})
 		if rc != nil {
 			rc.ForEachSAQ(func(s *recn.SAQ) { headEdge(from, swID, s.Q) })
 		}
@@ -320,7 +321,7 @@ func (n *Network) buildWaitGraph() *check.WaitGraph {
 			if in == nil {
 				continue
 			}
-			headEdges(fmt.Sprintf("sw%d.in%d", sw.id, p), sw.id, in.qs, ingressRanger(in.rc))
+			headEdges(fmt.Sprintf("sw%d.in%d", sw.id, p), sw.id, &in.qs, ingressRanger(in.rc))
 		}
 		for p, out := range sw.out {
 			if out == nil || out.pool.Used() == 0 {
@@ -387,14 +388,18 @@ func (n *Network) debugLosePacket(sw, port int) bool {
 	if in == nil {
 		return false
 	}
-	for _, q := range in.qs {
+	lost := false
+	in.qs.forEach(func(_ int, q *mempool.Queue) {
+		if lost {
+			return
+		}
 		e, ok := q.Head()
 		if !ok || e.IsMarker() {
-			continue
+			return
 		}
 		q.Pop()
 		q.ReleaseResident(e.Size)
-		return true
-	}
-	return false
+		lost = true
+	})
+	return lost
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/mempool"
 	"repro/internal/recn"
 	"repro/internal/sim"
 )
@@ -22,11 +23,11 @@ func dumpStuck(t *testing.T, n *Network) {
 			}
 			if in.pool.Used() > 0 {
 				desc := fmt.Sprintf("sw %d in[%d]: pool used %d;", sw.id, p, in.pool.Used())
-				for qi, q := range in.qs {
+				in.qs.forEach(func(qi int, q *mempool.Queue) {
 					if q.Entries() > 0 || q.ResidentBytes() > 0 {
 						desc += fmt.Sprintf(" q%d{pkts %d, ent %d, res %d}", qi, q.Packets(), q.Entries(), q.ResidentBytes())
 					}
-				}
+				})
 				if in.rc != nil {
 					in.rc.ForEachSAQ(func(s *saqAlias) {})
 				}
@@ -44,8 +45,12 @@ func dumpStuck(t *testing.T, n *Network) {
 				continue
 			}
 			if out.pool.Used() > 0 {
+				normal := 0
+				if q := out.qs.at(0); q != nil {
+					normal = q.Packets()
+				}
 				t.Logf("sw %d out[%d]: pool used %d, normal pkts %d, credits %d/%d",
-					sw.id, p, out.pool.Used(), out.qs[0].Packets(), out.portCredits, out.initPort)
+					sw.id, p, out.pool.Used(), normal, out.portCredits, out.initPort)
 			}
 			if out.rc != nil {
 				if out.rc.Root() {

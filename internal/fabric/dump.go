@@ -19,7 +19,7 @@ func (n *Network) DumpCongestion(w io.Writer) {
 			if in == nil {
 				continue
 			}
-			if q := in.qs[0].QueuedBytes(); q > 4096 {
+			if q := in.qs.queuedBytes(0); q > 4096 {
 				fmt.Fprintf(w, "  in sw%d[%d] normal q=%dB\n", sw.id, p, q)
 			}
 			if in.rc != nil {
@@ -36,8 +36,8 @@ func (n *Network) DumpCongestion(w io.Writer) {
 					level = lv.SwitchLevel(sw.id)
 				}
 				fmt.Fprintf(w, "ROOT sw%d out[%d] (level %d) normal q=%dB pool=%dB credits=%d\n",
-					sw.id, p, level, out.qs[0].QueuedBytes(), out.pool.Used(), out.portCredits)
-			} else if q := out.qs[0].QueuedBytes(); q > 4096 {
+					sw.id, p, level, out.qs.queuedBytes(0), out.pool.Used(), out.portCredits)
+			} else if q := out.qs.queuedBytes(0); q > 4096 {
 				fmt.Fprintf(w, "  out sw%d[%d] normal q=%dB credits=%d\n", sw.id, p, q, out.portCredits)
 			}
 			if out.rc != nil {

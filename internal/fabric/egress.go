@@ -23,11 +23,14 @@ type egressUnit struct {
 	nic  *NIC    // nil for switch output ports
 	port int     // output port index within the switch (0 for NICs)
 
-	pool   *mempool.Pool
-	qs     []*mempool.Queue
-	active *activeList
+	pool   mempool.Pool
+	qs     queueSet
+	active activeList
 	rc     *recn.Egress
 
+	// chSt is the outgoing channel's storage; ch points at it once the
+	// unit is attached (nil before — unattached ports have no link).
+	chSt       channel
 	ch         *channel
 	remoteHost bool
 
@@ -35,7 +38,7 @@ type egressUnit struct {
 	// for 1Q/4Q/RECN and host links, queue-level for the VOQ
 	// mechanisms (paper §4.1).
 	portCredits  int
-	queueCredits []int
+	queueCredits creditSet
 	initPort     int
 	initQueue    int
 	// lastCreditAt is when a credit was last consumed or returned; the
@@ -60,26 +63,30 @@ type egressUnit struct {
 	hintStop bool
 }
 
-// newEgressUnit builds the unit; channels and credits are wired later.
-func newEgressUnit(net *Network, sw *Switch, port int, terminal bool) *egressUnit {
+// init builds the unit in place — units live in slab arenas, one
+// allocation per kind for the whole fabric; channels and credits are
+// wired later. rc is this port's slot in the RECN controller arena
+// (nil unless PolicyRECN). Construction errors (bad pool capacity)
+// surface through fabric.New's error return.
+func (u *egressUnit) init(net *Network, sw *Switch, port int, terminal bool, rc *recn.Egress) error {
 	cfg := net.cfg
-	u := &egressUnit{
-		net:  net,
-		sc:   net.base,
-		sw:   sw,
-		port: port,
-		pool: mempool.NewPool(cfg.PortMemory),
+	u.net = net
+	u.sc = net.base
+	u.sw = sw
+	u.port = port
+	if err := u.pool.Init(cfg.PortMemory); err != nil {
+		return err
 	}
-	nq, cap := egressQueuePlan(cfg)
-	u.qs = make([]*mempool.Queue, nq)
-	for i := range u.qs {
-		u.qs[i] = mempool.NewQueue(u.pool, cap)
-	}
-	u.active = newActiveList(nq)
+	nq, qcap := egressQueuePlan(cfg)
+	u.qs.init(&u.pool, nq, qcap, cfg.Policy == PolicyVOQnet && !cfg.EagerState)
+	u.active.init(nq, !cfg.EagerState)
 	if cfg.Policy == PolicyRECN {
-		u.rc = recn.NewEgress(cfg.RECN, port, u.pool, u.qs, terminal, u)
+		if err := rc.Init(cfg.RECN, port, &u.pool, u.qs.denseSlice(), terminal, u, cfg.EagerState); err != nil {
+			return err
+		}
+		u.rc = rc
 	}
-	return u
+	return nil
 }
 
 // egressQueuePlan returns the number of policy queues and per-queue cap
@@ -106,7 +113,8 @@ func egressQueuePlan(cfg Config) (n, cap int) {
 // attach wires the outgoing channel and initializes credits for the
 // remote input buffer.
 func (u *egressUnit) attach(sink linkSink, remoteHost bool) {
-	u.ch = newChannel(u.sc, u, sink)
+	u.ch = &u.chSt
+	u.ch.init(u.sc, u, sink)
 	u.ch.loc = u.loc()
 	u.remoteHost = remoteHost
 	cfg := u.net.cfg
@@ -116,15 +124,12 @@ func (u *egressUnit) attach(sink linkSink, remoteHost bool) {
 		switch cfg.Policy {
 		case PolicyVOQsw:
 			ports := cfg.Topo.PortsPerSwitch()
-			u.queueCredits = make([]int, ports)
 			u.initQueue = cfg.PortMemory / ports
+			u.queueCredits.init(ports, u.initQueue, false)
 		case PolicyVOQnet:
 			hosts := cfg.Topo.NumHosts()
-			u.queueCredits = make([]int, hosts)
 			u.initQueue = cfg.PortMemory / hosts
-		}
-		for i := range u.queueCredits {
-			u.queueCredits[i] = u.initQueue
+			u.queueCredits.init(hosts, u.initQueue, !cfg.EagerState)
 		}
 	}
 }
@@ -132,7 +137,7 @@ func (u *egressUnit) attach(sink linkSink, remoteHost bool) {
 // creditIndex returns the remote ingress queue a packet will occupy
 // (queue-level credits), or -1 for port-level credit accounting.
 func (u *egressUnit) creditIndex(p *pkt.Packet) int {
-	if u.queueCredits == nil {
+	if !u.queueCredits.enabled() {
 		return -1
 	}
 	switch u.net.cfg.Policy {
@@ -146,7 +151,7 @@ func (u *egressUnit) creditIndex(p *pkt.Packet) int {
 
 func (u *egressUnit) hasCredit(p *pkt.Packet) bool {
 	if idx := u.creditIndex(p); idx >= 0 {
-		return u.queueCredits[idx] >= p.Size
+		return u.queueCredits.value(idx) >= p.Size
 	}
 	return u.portCredits >= p.Size
 }
@@ -154,7 +159,7 @@ func (u *egressUnit) hasCredit(p *pkt.Packet) bool {
 func (u *egressUnit) consumeCredit(p *pkt.Packet) {
 	u.lastCreditAt = u.sc.eng.Now()
 	if idx := u.creditIndex(p); idx >= 0 {
-		u.queueCredits[idx] -= p.Size
+		*u.queueCredits.slot(idx) -= p.Size
 		return
 	}
 	u.portCredits -= p.Size
@@ -163,8 +168,8 @@ func (u *egressUnit) consumeCredit(p *pkt.Packet) {
 // addCredit applies a returned credit and retries transmission.
 func (u *egressUnit) addCredit(c creditMsg) {
 	u.lastCreditAt = u.sc.eng.Now()
-	if c.queue >= 0 && u.queueCredits != nil {
-		u.queueCredits[c.queue] += c.bytes
+	if c.queue >= 0 && u.queueCredits.enabled() {
+		*u.queueCredits.slot(c.queue) += c.bytes
 	} else {
 		u.portCredits += c.bytes
 	}
@@ -172,16 +177,19 @@ func (u *egressUnit) addCredit(c creditMsg) {
 }
 
 // checkCredits verifies all credits returned (quiesce invariant).
+// Untouched lazy counters hold exactly the initial value, so only
+// materialized slots need the comparison.
 func (u *egressUnit) checkCredits() error {
 	if u.portCredits != u.initPort {
 		return fmt.Errorf("port credits %d, want %d", u.portCredits, u.initPort)
 	}
-	for i, c := range u.queueCredits {
-		if c != u.initQueue {
-			return fmt.Errorf("queue %d credits %d, want %d", i, c, u.initQueue)
+	var err error
+	u.queueCredits.forEachSlot(func(i int, slot *int) {
+		if err == nil && *slot != u.initQueue {
+			err = fmt.Errorf("queue %d credits %d, want %d", i, *slot, u.initQueue)
 		}
-	}
-	return nil
+	})
+	return err
 }
 
 // classify returns the queue an arriving packet goes to. hop indexes
@@ -189,23 +197,23 @@ func (u *egressUnit) checkCredits() error {
 func (u *egressUnit) classify(p *pkt.Packet, hop int) queueHandle {
 	switch u.net.cfg.Policy {
 	case Policy1Q, PolicyVOQsw, PolicyThrottle, PolicyARN:
-		return queueHandle{u.qs[0], 0}
+		return queueHandle{u.qs.at(0), 0}
 	case Policy4Q:
 		best := 0
-		for i := 1; i < len(u.qs); i++ {
-			if u.qs[i].QueuedBytes() < u.qs[best].QueuedBytes() {
+		for i := 1; i < u.qs.len(); i++ {
+			if u.qs.at(i).QueuedBytes() < u.qs.at(best).QueuedBytes() {
 				best = i
 			}
 		}
-		return queueHandle{u.qs[best], best}
+		return queueHandle{u.qs.at(best), best}
 	case PolicyVOQnet:
-		return queueHandle{u.qs[p.Dst], p.Dst}
+		return queueHandle{u.qs.get(p.Dst), p.Dst}
 	case PolicyRECN:
 		if s := u.rc.Classify(p.Route, hop); s != nil {
 			return queueHandle{s.Q, -1}
 		}
 		cls := int(p.Class)
-		return queueHandle{u.qs[cls], cls}
+		return queueHandle{u.qs.at(cls), cls}
 	}
 	u.net.fatalf(check.RuleInternal, u.loc(), "unknown policy %v", u.net.cfg.Policy)
 	return queueHandle{}
@@ -213,13 +221,18 @@ func (u *egressUnit) classify(p *pkt.Packet, hop int) queueHandle {
 
 // admitProbe reports whether a packet can be accepted right now (buffer
 // space only). hop is the route position after this port (p.Hop+1 when
-// probing from the crossbar, p.Hop at a NIC).
+// probing from the crossbar, p.Hop at a NIC). Probes never materialize
+// a lazy queue — an untouched destination queue answers from the pool
+// headroom alone.
 func (u *egressUnit) admitProbe(p *pkt.Packet, hop int) bool {
 	if u.rc != nil {
 		if s := u.rc.Classify(p.Route, hop); s != nil {
 			return s.Q.CanAccept(p.Size)
 		}
-		return u.qs[p.Class].CanAccept(p.Size)
+		return u.qs.at(int(p.Class)).CanAccept(p.Size)
+	}
+	if u.net.cfg.Policy == PolicyVOQnet {
+		return u.qs.canAccept(p.Dst, p.Size)
 	}
 	h := u.classify(p, hop)
 	return h.q.CanAccept(p.Size)
@@ -244,7 +257,7 @@ func (u *egressUnit) storePacket(p *pkt.Packet, fromIngress int) {
 		if s = u.rc.Classify(p.Route, p.Hop); s != nil {
 			h = queueHandle{s.Q, -1}
 		} else {
-			h = queueHandle{u.qs[p.Class], int(p.Class)}
+			h = queueHandle{u.qs.at(int(p.Class)), int(p.Class)}
 		}
 	} else {
 		h = u.classify(p, p.Hop)
@@ -312,10 +325,10 @@ func (u *egressUnit) pickNormal() *txOrigin {
 		// RECN: scan the class queues directly (round-robin) so markers
 		// placed by the controller (which bypass the active list) are
 		// always peeled.
-		n := len(u.qs)
+		n := u.qs.len()
 		for i := 0; i < n; i++ {
 			idx := (u.rr + i) % n
-			q := u.qs[idx]
+			q := u.qs.at(idx)
 			p, ok := peelHead(q, u.rc.ResolveMarker)
 			if !ok || !u.hasCredit(p) {
 				continue
@@ -332,7 +345,7 @@ func (u *egressUnit) pickNormal() *txOrigin {
 	tried := 0
 	for u.active.len() > 0 && tried < u.active.len() {
 		idx := u.active.at(u.rr % u.active.len())
-		q := u.qs[idx]
+		q := u.qs.at(idx)
 		p, ok := peelHead(q, nil)
 		if !ok {
 			u.active.remove(idx)

@@ -187,6 +187,14 @@ type Config struct {
 	// with structured violations. Checkers are single-use, like Faults
 	// and Tracer; nil keeps every hook down to a single nil comparison.
 	Checker *check.Checker
+	// EagerState disables lazy queue/credit materialization, restoring
+	// the fully preallocated per-port state of the pre-slab fabric.
+	// Lazy and eager runs are bit-identical by construction (untouched
+	// state behaves exactly like freshly built state, and materialized
+	// entries are visited in dense index order); the flag exists so the
+	// golden tests can assert that equivalence and so the scaling
+	// figures can measure the eager footprint at small sizes.
+	EagerState bool
 }
 
 // DefaultConfig returns the evaluation defaults for a topology.
@@ -277,6 +285,18 @@ type Network struct {
 	switches []*Switch
 	nics     []*NIC
 
+	// Slab arenas backing the per-port objects: one allocation per kind
+	// for the whole fabric instead of one per port. switches/nics and
+	// the units' own pointers index into these; outSlab additionally
+	// holds the NIC injection ports at slots nSwitches*ports+host. The
+	// RECN controller slabs exist only under PolicyRECN.
+	swSlab    []Switch
+	inSlab    []ingressUnit
+	outSlab   []egressUnit
+	nicSlab   []NIC
+	rcInSlab  []recn.Ingress
+	rcOutSlab []recn.Egress
+
 	sweepPending bool
 
 	// base is the legacy/coordinator shard context: it aliases Engine
@@ -359,13 +379,36 @@ func New(cfg Config) (*Network, error) {
 	// per-event path in this package ranges over a map (the one map, the
 	// base context's lastSeq, is only ever indexed).
 	topo := cfg.Topo
-	n.switches = make([]*Switch, topo.NumSwitches())
-	for id := range n.switches {
-		n.switches[id] = newSwitch(n, id)
+	nSw := topo.NumSwitches()
+	hosts := topo.NumHosts()
+	ports := topo.PortsPerSwitch()
+	n.swSlab = make([]Switch, nSw)
+	n.inSlab = make([]ingressUnit, nSw*ports)
+	n.outSlab = make([]egressUnit, nSw*ports+hosts)
+	n.nicSlab = make([]NIC, hosts)
+	if cfg.Policy == PolicyRECN {
+		n.rcInSlab = make([]recn.Ingress, nSw*ports)
+		n.rcOutSlab = make([]recn.Egress, nSw*ports+hosts)
 	}
-	n.nics = make([]*NIC, topo.NumHosts())
+	n.switches = make([]*Switch, nSw)
+	for id := range n.switches {
+		sw := &n.swSlab[id]
+		if err := sw.init(n, id); err != nil {
+			return nil, err
+		}
+		n.switches[id] = sw
+	}
+	n.nics = make([]*NIC, hosts)
 	for h := range n.nics {
-		n.nics[h] = newNIC(n, h)
+		nic := &n.nicSlab[h]
+		var rc *recn.Egress
+		if n.rcOutSlab != nil {
+			rc = &n.rcOutSlab[nSw*ports+h]
+		}
+		if err := nic.init(n, h, &n.outSlab[nSw*ports+h], rc); err != nil {
+			return nil, err
+		}
+		n.nics[h] = nic
 	}
 	// Wire channels now that all units exist. Wiring errors (a topology
 	// whose Peer/HostAttach answers are inconsistent) surface here as

@@ -22,9 +22,9 @@ type ingressUnit struct {
 	sw   *Switch
 	port int
 
-	pool   *mempool.Pool
-	qs     []*mempool.Queue
-	active *activeList
+	pool   mempool.Pool
+	qs     queueSet
+	active activeList
 	rc     *recn.Ingress
 
 	// revCh is the co-located egress unit's channel: credits and
@@ -42,26 +42,30 @@ type ingressUnit struct {
 	arbitFn func()
 }
 
-func newIngressUnit(net *Network, sw *Switch, port int) *ingressUnit {
+// init builds the unit in place (units live in slab arenas — see
+// fabric.New). rc is this port's slot in the RECN controller arena
+// (nil unless PolicyRECN). Construction errors (bad pool capacity)
+// surface through fabric.New's error return.
+func (u *ingressUnit) init(net *Network, sw *Switch, port int, rc *recn.Ingress) error {
 	cfg := net.cfg
-	u := &ingressUnit{
-		net:  net,
-		sc:   net.base,
-		sw:   sw,
-		port: port,
-		pool: mempool.NewPool(cfg.PortMemory),
+	u.net = net
+	u.sc = net.base
+	u.sw = sw
+	u.port = port
+	if err := u.pool.Init(cfg.PortMemory); err != nil {
+		return err
 	}
 	u.arbitFn = u.arbit
-	nq, cap := ingressQueuePlan(cfg)
-	u.qs = make([]*mempool.Queue, nq)
-	for i := range u.qs {
-		u.qs[i] = mempool.NewQueue(u.pool, cap)
-	}
-	u.active = newActiveList(nq)
+	nq, qcap := ingressQueuePlan(cfg)
+	u.qs.init(&u.pool, nq, qcap, cfg.Policy == PolicyVOQnet && !cfg.EagerState)
+	u.active.init(nq, !cfg.EagerState)
 	if cfg.Policy == PolicyRECN {
-		u.rc = recn.NewIngress(cfg.RECN, port, u.pool, u.qs, u)
+		if err := rc.Init(cfg.RECN, port, &u.pool, u.qs.denseSlice(), u, cfg.EagerState); err != nil {
+			return err
+		}
+		u.rc = rc
 	}
-	return u
+	return nil
 }
 
 // ingressQueuePlan returns the number of policy queues and per-queue
@@ -93,26 +97,26 @@ func ingressQueuePlan(cfg Config) (n, cap int) {
 func (u *ingressUnit) classify(p *pkt.Packet) (queueHandle, *recn.SAQ) {
 	switch u.net.cfg.Policy {
 	case Policy1Q, PolicyThrottle, PolicyARN:
-		return queueHandle{u.qs[0], 0}, nil
+		return queueHandle{u.qs.at(0), 0}, nil
 	case Policy4Q:
 		best := 0
-		for i := 1; i < len(u.qs); i++ {
-			if u.qs[i].QueuedBytes() < u.qs[best].QueuedBytes() {
+		for i := 1; i < u.qs.len(); i++ {
+			if u.qs.at(i).QueuedBytes() < u.qs.at(best).QueuedBytes() {
 				best = i
 			}
 		}
-		return queueHandle{u.qs[best], best}, nil
+		return queueHandle{u.qs.at(best), best}, nil
 	case PolicyVOQsw:
 		idx := int(p.NextTurn())
-		return queueHandle{u.qs[idx], idx}, nil
+		return queueHandle{u.qs.at(idx), idx}, nil
 	case PolicyVOQnet:
-		return queueHandle{u.qs[p.Dst], p.Dst}, nil
+		return queueHandle{u.qs.get(p.Dst), p.Dst}, nil
 	case PolicyRECN:
 		if s := u.rc.Classify(p.Route, p.Hop); s != nil {
 			return queueHandle{s.Q, -1}, s
 		}
 		cls := int(p.Class)
-		return queueHandle{u.qs[cls], cls}, nil
+		return queueHandle{u.qs.at(cls), cls}, nil
 	}
 	u.net.fatalf(check.RuleInternal, u.loc(), "unknown policy %v", u.net.cfg.Policy)
 	return queueHandle{}, nil
@@ -158,10 +162,10 @@ func (u *ingressUnit) arbitNormal() bool {
 		// RECN: scan the class queues directly (round-robin) so markers
 		// placed by the controller (which bypass the active list) are
 		// always peeled.
-		n := len(u.qs)
+		n := u.qs.len()
 		for i := 0; i < n; i++ {
 			idx := (u.rr + i) % n
-			q := u.qs[idx]
+			q := u.qs.at(idx)
 			p, ok := peelHead(q, u.rc.ResolveMarker)
 			if !ok || !u.canForward(p, false) {
 				continue
@@ -178,7 +182,7 @@ func (u *ingressUnit) arbitNormal() bool {
 	tried := 0
 	for u.active.len() > 0 && tried < u.active.len() {
 		idx := u.active.at(u.rr % u.active.len())
-		q := u.qs[idx]
+		q := u.qs.at(idx)
 		p, ok := peelHead(q, nil)
 		if !ok {
 			u.active.remove(idx)
@@ -384,7 +388,10 @@ func (u *ingressUnit) auditResident(queue int) int {
 	if queue < 0 {
 		return u.pool.Used()
 	}
-	return u.qs[queue].ResidentBytes()
+	if q := u.qs.at(queue); q != nil {
+		return q.ResidentBytes()
+	}
+	return 0
 }
 
 // reverseQuiet reports whether the credit-carrying reverse direction of

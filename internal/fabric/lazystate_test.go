@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mempool"
+)
+
+// The lazy containers must be observationally identical to their dense
+// counterparts under any operation sequence — that equivalence is what
+// makes demand paging invisible to the goldens. Each test drives a
+// lazy and a dense instance with the same randomized VOQnet-shaped
+// workload (indexes clustered the way traffic clusters on a few
+// destinations) and compares every observable after every step.
+
+const lazyTestN = 4 * statePageLen // several pages, some never touched
+
+// clusteredIndex mimics VOQnet traffic: most touches land on a few hot
+// destinations, a tail wanders the lower half of the index space (the
+// upper-half pages stay untouched, so the tests can also assert the
+// paging win, not just equivalence).
+func clusteredIndex(rng *rand.Rand, n int) int {
+	if rng.Intn(4) > 0 {
+		return (n / 3) + rng.Intn(8) // hot cluster
+	}
+	return rng.Intn(n / 2)
+}
+
+func TestQueueSetLazyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	poolL := mempool.NewPool(1 << 20)
+	poolD := mempool.NewPool(1 << 20)
+	var lz, dn queueSet
+	lz.init(poolL, lazyTestN, 4096, true)
+	dn.init(poolD, lazyTestN, 4096, false)
+	for step := 0; step < 5000; step++ {
+		i := clusteredIndex(rng, lazyTestN)
+		switch rng.Intn(4) {
+		case 0: // admission probe, must not materialize
+			n := 64 + rng.Intn(512)
+			if got, want := lz.canAccept(i, n), dn.canAccept(i, n); got != want {
+				t.Fatalf("step %d: canAccept(%d, %d) = %v, dense %v", step, i, n, got, want)
+			}
+		case 1: // push through get (the only materializing op)
+			n := 64 + rng.Intn(256)
+			if lz.canAccept(i, n) {
+				lz.get(i).Push(n, nil)
+				dn.get(i).Push(n, nil)
+			}
+		case 2: // pop
+			if q := lz.at(i); q != nil && !q.Empty() {
+				e := q.Pop()
+				q.ReleaseResident(e.Size)
+				d := dn.get(i).Pop()
+				dn.get(i).ReleaseResident(d.Size)
+				if e.Size != d.Size {
+					t.Fatalf("step %d: queue %d popped %d bytes, dense %d", step, i, e.Size, d.Size)
+				}
+			}
+		case 3: // read-only residency probe
+			if got, want := lz.queuedBytes(i), dn.queuedBytes(i); got != want {
+				t.Fatalf("step %d: queuedBytes(%d) = %d, dense %d", step, i, got, want)
+			}
+		}
+		if poolL.Used() != poolD.Used() {
+			t.Fatalf("step %d: pool usage diverged: lazy %d, dense %d", step, poolL.Used(), poolD.Used())
+		}
+	}
+	// Full sweep: every index agrees, and the lazy walk visits exactly
+	// the non-empty subsequence of the dense walk in the same order.
+	for i := 0; i < lazyTestN; i++ {
+		if lz.queuedBytes(i) != dn.queuedBytes(i) {
+			t.Fatalf("final: queuedBytes(%d) = %d, dense %d", i, lz.queuedBytes(i), dn.queuedBytes(i))
+		}
+	}
+	var lazyOrder []int
+	lz.forEach(func(i int, q *mempool.Queue) { lazyOrder = append(lazyOrder, i) })
+	for j := 1; j < len(lazyOrder); j++ {
+		if lazyOrder[j] <= lazyOrder[j-1] {
+			t.Fatalf("lazy forEach out of index order: %v", lazyOrder)
+		}
+	}
+	queues, _, ptrs := lz.memCount()
+	if queues != len(lazyOrder) {
+		t.Fatalf("memCount queues %d != materialized %d", queues, len(lazyOrder))
+	}
+	if ptrs >= lazyTestN {
+		t.Fatalf("lazy set paid %d pointer slots for %d indexes (no paging win)", ptrs, lazyTestN)
+	}
+}
+
+func TestCreditSetLazyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const start = 96
+	var lz, dn creditSet
+	lz.init(lazyTestN, start, true)
+	dn.init(lazyTestN, start, false)
+	for step := 0; step < 5000; step++ {
+		i := clusteredIndex(rng, lazyTestN)
+		switch rng.Intn(3) {
+		case 0: // read, must not materialize
+			if got, want := lz.value(i), dn.value(i); got != want {
+				t.Fatalf("step %d: value(%d) = %d, dense %d", step, i, got, want)
+			}
+		case 1: // spend
+			if *lz.slot(i) > 0 {
+				*lz.slot(i)--
+				*dn.slot(i)--
+			}
+		case 2: // replenish
+			*lz.slot(i)++
+			*dn.slot(i)++
+		}
+	}
+	for i := 0; i < lazyTestN; i++ {
+		if lz.value(i) != dn.value(i) {
+			t.Fatalf("final: value(%d) = %d, dense %d", i, lz.value(i), dn.value(i))
+		}
+	}
+	// Stable interior pointers: a slot taken before later
+	// materializations still writes through.
+	p := lz.slot(0)
+	*lz.slot(lazyTestN - 1) = 7 // touch the last page
+	*p = 42
+	if lz.value(0) != 42 {
+		t.Fatalf("slot pointer went stale after later materialization: value(0) = %d", lz.value(0))
+	}
+	if lz.memCount() >= lazyTestN {
+		t.Fatalf("lazy credit set materialized %d slots of %d (no paging win)", lz.memCount(), lazyTestN)
+	}
+}
+
+func TestActiveListLazyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := lazyPosThreshold + 3*statePageLen // big enough to actually go lazy
+	var lz, dn activeList
+	lz.init(n, true)
+	dn.init(n, false)
+	if !lz.lazy {
+		t.Fatalf("activeList with n=%d did not switch to paged slots", n)
+	}
+	for step := 0; step < 8000; step++ {
+		i := clusteredIndex(rng, n)
+		if rng.Intn(3) > 0 {
+			lz.add(i)
+			dn.add(i)
+		} else {
+			lz.remove(i)
+			dn.remove(i)
+		}
+		if lz.len() != dn.len() {
+			t.Fatalf("step %d: len %d, dense %d", step, lz.len(), dn.len())
+		}
+	}
+	// Same members in the same iteration order (arbiter fairness
+	// depends on the order, not just the set).
+	for j := 0; j < lz.len(); j++ {
+		if lz.at(j) != dn.at(j) {
+			t.Fatalf("item %d: lazy %d, dense %d", j, lz.at(j), dn.at(j))
+		}
+	}
+	if lz.memCount() >= dn.memCount() {
+		t.Fatalf("lazy active list paid %d slots, dense pays %d (no paging win)", lz.memCount(), dn.memCount())
+	}
+}
+
+func TestDestSetLazyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var lz, dn destSet
+	lz.init(lazyTestN, true)
+	dn.init(lazyTestN, false)
+	for step := 0; step < 5000; step++ {
+		i := clusteredIndex(rng, lazyTestN)
+		if rng.Intn(2) == 0 {
+			lz.get(i).bytes += 64
+			dn.get(i).bytes += 64
+		}
+		var got int
+		if d := lz.at(i); d != nil {
+			got = d.bytes
+		}
+		if want := dn.at(i).bytes; got != want {
+			t.Fatalf("step %d: dest %d bytes %d, dense %d", step, i, got, want)
+		}
+	}
+	// Pointer stability across later materializations.
+	p := lz.get(1)
+	lz.get(lazyTestN - 1).bytes = 9
+	p.bytes = 1234
+	if lz.at(1).bytes != 1234 {
+		t.Fatalf("nicDest pointer went stale: bytes = %d", lz.at(1).bytes)
+	}
+	if lz.memCount() >= lazyTestN {
+		t.Fatalf("lazy dest set materialized %d slots of %d (no paging win)", lz.memCount(), lazyTestN)
+	}
+}

@@ -1,0 +1,62 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// An eagerly built network must report, at construction time, exactly
+// the footprint the analytic model predicts — the model is the
+// denominator of every lazy/eager ratio the scaling figure prints, so
+// any drift between the two silently corrupts the figure.
+func TestEagerMemStatsMatchesModel(t *testing.T) {
+	for _, p := range []Policy{
+		Policy1Q, Policy4Q, PolicyVOQsw, PolicyVOQnet,
+		PolicyRECN, PolicyThrottle, PolicyARN,
+	} {
+		t.Run(p.String(), func(t *testing.T) {
+			topo, err := topology.ForHosts(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(topo)
+			cfg.Policy = p
+			cfg.EagerState = true
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := net.MemStats()
+			want := EagerMemModel(cfg)
+			if got != want {
+				t.Errorf("eager MemStats() = %+v\nEagerMemModel  = %+v", got, want)
+			}
+		})
+	}
+}
+
+// The lazy fabric must start out paying only page tables: a fraction
+// of the eager model before any traffic, for the policies with
+// O(hosts) per-port state.
+func TestLazyConstructionFootprint(t *testing.T) {
+	topo, err := topology.ForHosts(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo)
+	cfg.Policy = PolicyVOQnet
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := net.MemStats()
+	eager := EagerMemModel(cfg)
+	if lazy.StateBytes <= 0 || eager.StateBytes <= 0 {
+		t.Fatalf("degenerate footprints: lazy %d, eager %d", lazy.StateBytes, eager.StateBytes)
+	}
+	if ratio := float64(lazy.StateBytes) / float64(eager.StateBytes); ratio > 0.10 {
+		t.Errorf("untouched lazy VOQnet fabric pays %.1f%% of the eager footprint (want ≤ 10%%): lazy %d B, eager %d B",
+			100*ratio, lazy.StateBytes, eager.StateBytes)
+	}
+}

@@ -47,6 +47,81 @@ func (q *hostQueue) pop() *pkt.Packet {
 	return p
 }
 
+// nicDest is one destination's admittance state: the VOQ, its queued
+// bytes (AdmitCap accounting), and the cached route.
+type nicDest struct {
+	q     hostQueue
+	bytes int
+	route pkt.Route
+}
+
+// destSet is the per-destination admittance array, dense or
+// demand-paged: a 4k-host NIC only pays for the destinations it
+// actually sends to. Pages give stable interior pointers, so a *nicDest
+// stays valid across later materializations.
+type destSet struct {
+	n     int
+	lazy  bool
+	dense []nicDest
+	pages [][]nicDest
+}
+
+func (s *destSet) init(n int, lazy bool) {
+	*s = destSet{n: n, lazy: lazy}
+	if !lazy {
+		s.dense = make([]nicDest, n)
+	}
+}
+
+// at returns destination i's state, or nil when untouched (callers
+// index via the active list, which only holds touched destinations).
+func (s *destSet) at(i int) *nicDest {
+	if !s.lazy {
+		return &s.dense[i]
+	}
+	if s.pages == nil {
+		return nil
+	}
+	pg := s.pages[i>>statePageBits]
+	if pg == nil {
+		return nil
+	}
+	return &pg[i&(statePageLen-1)]
+}
+
+// get returns destination i's state, materializing its page on first
+// touch.
+func (s *destSet) get(i int) *nicDest {
+	if !s.lazy {
+		return &s.dense[i]
+	}
+	if s.pages == nil {
+		s.pages = make([][]nicDest, (s.n+statePageLen-1)>>statePageBits)
+	}
+	pi := i >> statePageBits
+	pg := s.pages[pi]
+	if pg == nil {
+		pg = make([]nicDest, statePageLen)
+		s.pages[pi] = pg
+	}
+	return &pg[i&(statePageLen-1)]
+}
+
+// memCount reports materialized destination slots, for the memory
+// model.
+func (s *destSet) memCount() (slots int) {
+	if !s.lazy {
+		return len(s.dense)
+	}
+	slots = len(s.pages)
+	for _, pg := range s.pages {
+		if pg != nil {
+			slots += statePageLen
+		}
+	}
+	return
+}
+
 // NIC is a host's network interface (paper §4.1): N admittance queues
 // organized as VOQs (one per destination), an arbiter that moves
 // packetized messages into the injection port, and an injection port
@@ -61,17 +136,15 @@ type NIC struct {
 	attachSw   int
 	attachPort int
 
-	admit      []hostQueue
-	admitBytes []int // queued bytes per admittance queue (AdmitCap)
-	active     *activeList
-	rr         int
-	backlog    int // packets waiting in admittance queues
+	dests   destSet
+	active  activeList
+	rr      int
+	backlog int // packets waiting in admittance queues
 
 	inj *egressUnit
 
-	seq    map[uint32]uint64 // (dst, class) → next sequence number
-	idSeq  uint64            // windowed-mode per-host packet ID counter
-	routes []pkt.Route
+	seq   map[uint32]uint64 // (dst, class) → next sequence number
+	idSeq uint64            // windowed-mode per-host packet ID counter
 
 	pumpScheduled bool
 	// runPumpFn is nic.runPump bound once, so pump never allocates a
@@ -113,34 +186,36 @@ type nicThrottle struct {
 	lastCNPAt []sim.Time
 }
 
-func newNIC(net *Network, host int) *NIC {
+// init builds the NIC in place (NICs live in a slab arena — see
+// fabric.New). inj is the NIC's slot in the egress-unit arena and rc
+// its RECN controller slot (nil unless PolicyRECN).
+func (nic *NIC) init(net *Network, host int, inj *egressUnit, rc *recn.Egress) error {
 	hosts := net.topo.NumHosts()
 	sw, port := net.topo.HostAttach(host)
-	nic := &NIC{
-		net:        net,
-		sc:         net.base,
-		host:       host,
-		attachSw:   sw,
-		attachPort: port,
-		admit:      make([]hostQueue, hosts),
-		admitBytes: make([]int, hosts),
-		active:     newActiveList(hosts),
-		seq:        make(map[uint32]uint64),
-		routes:     make([]pkt.Route, hosts),
-	}
+	nic.net = net
+	nic.sc = net.base
+	nic.host = host
+	nic.attachSw = sw
+	nic.attachPort = port
+	nic.dests.init(hosts, !net.cfg.EagerState)
+	nic.active.init(hosts, !net.cfg.EagerState)
+	nic.seq = make(map[uint32]uint64)
 	nic.runPumpFn = nic.runPump
-	nic.inj = newEgressUnit(net, nil, 0, true)
-	nic.inj.nic = nic
+	if err := inj.init(net, nil, 0, true, rc); err != nil {
+		return err
+	}
+	nic.inj = inj
+	inj.nic = nic
 	if net.cfg.Policy == PolicyThrottle {
-		nic.thr = &nicThrottle{
-			state:     throttle.NewState(),
-			lastCNPAt: make([]sim.Time, hosts),
+		nic.thr = &nicThrottle{state: throttle.NewState()}
+		if net.cfg.EagerState {
+			nic.thr.lastCNPAt = make([]sim.Time, hosts)
 		}
 		nic.onCNPFn = nic.onCNP
 		nic.aiTickFn = nic.aiTick
 		nic.paceFn = nic.paceFire
 	}
-	return nic
+	return nil
 }
 
 // wire connects the injection channel to the attachment switch. A host
@@ -166,19 +241,20 @@ func (nic *NIC) Backlog() int { return nic.backlog }
 // completely in the admittance queue and packetized before transfer to
 // an injection queue).
 func (nic *NIC) injectMessage(dst, size int, class uint8) error {
-	route := nic.routes[dst]
+	d := nic.dests.get(dst)
+	route := d.route
 	if route == nil {
 		r, err := nic.net.topo.Route(nic.host, dst)
 		if err != nil {
 			return err
 		}
-		nic.routes[dst] = r
+		d.route = r
 		route = r
 	}
 	// Finite host buffering: discard the message when the destination's
 	// admittance queue is already at the cap (the whole message is
 	// accepted when below it, so messages larger than the cap work).
-	if cap := nic.net.cfg.AdmitCap; cap > 0 && nic.admitBytes[dst] >= cap {
+	if cap := nic.net.cfg.AdmitCap; cap > 0 && d.bytes >= cap {
 		nic.sc.cnt.DroppedMessages++
 		if nic.sc.rec != nil {
 			nic.sc.rec.Record(trace.EvDrop, nic.inj.loc(), "", int64(dst), int64(size), 0)
@@ -216,8 +292,8 @@ func (nic *NIC) injectMessage(dst, size int, class uint8) error {
 			Seq:       nic.seq[seqKey],
 			CreatedAt: now,
 		}
-		nic.admit[dst].push(p)
-		nic.admitBytes[dst] += sz
+		d.q.push(p)
+		d.bytes += sz
 		nic.active.add(dst)
 		nic.backlog++
 		nic.sc.cnt.InjectedPackets++
@@ -250,12 +326,12 @@ func (nic *NIC) runPump() {
 				return
 			}
 			idx := nic.active.at(nic.rr % nic.active.len())
-			q := &nic.admit[idx]
-			if q.count == 0 {
+			d := nic.dests.at(idx)
+			if d.q.count == 0 {
 				nic.active.remove(idx)
 				continue
 			}
-			p := q.peek()
+			p := d.q.peek()
 			// The pump honors the injection SAQ's internal gate: the
 			// admittance queues are per-destination VOQs, so holding
 			// one back causes no HOL blocking.
@@ -264,8 +340,8 @@ func (nic *NIC) runPump() {
 				tried++
 				continue
 			}
-			q.pop()
-			nic.admitBytes[idx] -= p.Size
+			d.q.pop()
+			d.bytes -= p.Size
 			nic.backlog--
 			nic.rr++
 			p.InjectedAt = nic.sc.eng.Now()
@@ -333,6 +409,11 @@ func (nic *NIC) noteMark(src int) {
 	t := nic.thr
 	now := nic.sc.eng.Now()
 	cfg := &nic.net.cfg.Throttle
+	if t.lastCNPAt == nil {
+		// Materialized on the first mark: most destinations never see
+		// one, and the zero value ("never sent") is the initial state.
+		t.lastCNPAt = make([]sim.Time, nic.net.topo.NumHosts())
+	}
 	if last := t.lastCNPAt[src]; last != 0 && now-last < cfg.CNPInterval {
 		return
 	}

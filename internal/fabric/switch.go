@@ -37,31 +37,47 @@ type Switch struct {
 	congOut   int
 }
 
-func newSwitch(net *Network, id int) *Switch {
+// init builds the switch in place (switches live in a slab arena — see
+// fabric.New). Port units come from the network's arenas: slot id*ports+p
+// for port p, so a switch's units are contiguous and built in port order.
+func (sw *Switch) init(net *Network, id int) error {
 	topo := net.topo
 	ports := topo.PortsPerSwitch()
-	sw := &Switch{
-		net:     net,
-		sc:      net.base,
-		id:      id,
-		in:      make([]*ingressUnit, ports),
-		out:     make([]*egressUnit, ports),
-		inBusy:  make([]bool, ports),
-		outBusy: make([]bool, ports),
-	}
+	sw.net = net
+	sw.sc = net.base
+	sw.id = id
+	sw.in = make([]*ingressUnit, ports)
+	sw.out = make([]*egressUnit, ports)
+	sw.inBusy = make([]bool, ports)
+	sw.outBusy = make([]bool, ports)
 	for p := 0; p < ports; p++ {
 		if topo.Peer(id, p).Kind == topology.KindNone {
 			continue
 		}
-		sw.in[p] = newIngressUnit(net, sw, p)
-		sw.out[p] = newEgressUnit(net, sw, p, false)
+		slot := id*ports + p
+		var rcIn *recn.Ingress
+		var rcOut *recn.Egress
+		if net.rcInSlab != nil {
+			rcIn = &net.rcInSlab[slot]
+			rcOut = &net.rcOutSlab[slot]
+		}
+		in := &net.inSlab[slot]
+		if err := in.init(net, sw, p, rcIn); err != nil {
+			return err
+		}
+		out := &net.outSlab[slot]
+		if err := out.init(net, sw, p, false, rcOut); err != nil {
+			return err
+		}
+		sw.in[p] = in
+		sw.out[p] = out
 	}
 	if net.cfg.Policy == PolicyARN {
 		if ar, ok := topo.(AlternateRouter); ok {
 			sw.upLo, sw.upN = ar.UpPortRange(id)
 		}
 	}
-	return sw
+	return nil
 }
 
 // hintTransition reacts to one output port's hint flipping: it keeps
@@ -209,7 +225,7 @@ func (sw *Switch) completeTransfer(in *ingressUnit, h queueHandle, s *recn.SAQ, 
 	// packet leaves the input port).
 	h.q.ReleaseResident(p.Size)
 	creditQueue := -1
-	if in.qs != nil && h.idx >= 0 && in.net.cfg.Policy.queueCredits() {
+	if h.idx >= 0 && in.net.cfg.Policy.queueCredits() {
 		creditQueue = h.idx
 	}
 	in.revCh.pushCredit(p.Size, creditQueue)

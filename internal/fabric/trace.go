@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/mempool"
 	"repro/internal/pkt"
 	"repro/internal/recn"
 	"repro/internal/topology"
@@ -180,9 +181,9 @@ func (n *Network) buildProbes() {
 			add(prefix+"/occ", func() float64 { return float64(in.pool.Used()) })
 			add(prefix+"/depth", func() float64 {
 				d := 0
-				for _, q := range in.qs {
+				in.qs.forEach(func(_ int, q *mempool.Queue) {
 					d += q.Packets()
-				}
+				})
 				return float64(d)
 			})
 			if in.rc != nil {
@@ -198,9 +199,9 @@ func (n *Network) buildProbes() {
 			add(prefix+"/occ", func() float64 { return float64(out.pool.Used()) })
 			add(prefix+"/depth", func() float64 {
 				d := 0
-				for _, q := range out.qs {
+				out.qs.forEach(func(_ int, q *mempool.Queue) {
 					d += q.Packets()
-				}
+				})
 				return float64(d)
 			})
 			if out.rc != nil {

@@ -173,13 +173,16 @@ func (u *egressUnit) creditQuiet(now, quiet sim.Time) bool {
 // clamped and reported as a violation.
 func (u *egressUnit) auditCredits(report *stats.FaultReport) {
 	sink := u.ch.sink
-	if u.queueCredits == nil {
+	if !u.queueCredits.enabled() {
 		u.resyncCredit(&u.portCredits, u.initPort-sink.auditResident(-1), report)
 		return
 	}
-	for i := range u.queueCredits {
-		u.resyncCredit(&u.queueCredits[i], u.initQueue-sink.auditResident(i), report)
-	}
+	// Untouched lazy slots are exact no-ops here (credit still at its
+	// initial value, receiver residency zero), so skipping them loses
+	// nothing.
+	u.queueCredits.forEachSlot(func(i int, slot *int) {
+		u.resyncCredit(slot, u.initQueue-sink.auditResident(i), report)
+	})
 }
 
 func (u *egressUnit) resyncCredit(counter *int, expected int, report *stats.FaultReport) {

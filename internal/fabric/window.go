@@ -27,7 +27,7 @@ import (
 //     including same-shard ones — and carries a composite engine
 //     sequence built ONLY from shard-count-invariant keys: the send
 //     instant u, a priority bit (channel traffic before remote
-//     injections), and a 13-bit key (wiring-order channel ID, or the
+//     injections), and a 17-bit key (wiring-order channel ID, or the
 //     calling host plus its within-instant call rank). Two mailbox
 //     events can never share (arrival, sequence): one channel's
 //     serializer is sequential (distinct arrivals), distinct channels
@@ -53,12 +53,14 @@ import (
 // events), so legacy goldens are preserved by the legacy path, and
 // windowed goldens are compared across shard counts.
 
-// Composite mailbox index layout (the low 23 bits of the engine
-// sequence): priority bit, 13-bit channel/host key, 9-bit
-// within-instant rank.
+// Composite mailbox index layout (the low 27 bits of the engine
+// sequence): priority bit, 17-bit channel/host key, 9-bit
+// within-instant rank. 17 key bits cover the channel count of a
+// 4k-host fat tree (every switch port plus every NIC injection port
+// gets a wiring-order ID).
 const (
 	mailRankBits = 9
-	mailKeyBits  = 13
+	mailKeyBits  = 17
 	mailPriShift = mailKeyBits + mailRankBits
 	maxMailKeys  = 1 << mailKeyBits
 	maxMailRank  = 1 << mailRankBits
@@ -161,7 +163,7 @@ func mailArriveEvent(arg any) {
 //     global transmission order no parallel schedule reproduces —
 //     probabilistic rules, corruption and flaps all work, on
 //     per-channel streams salted by the wiring-order channel ID);
-//   - hosts and channels must fit the 13-bit mailbox key space.
+//   - hosts and channels must fit the 17-bit mailbox key space.
 //
 // Note the windowed fault and corruption streams are per-channel and
 // therefore differ from the legacy plan-wide streams (deterministically

@@ -20,14 +20,28 @@ import "fmt"
 type Pool struct {
 	capacity int
 	used     int
+	peak     int
 }
 
 // NewPool returns a pool of the given capacity in bytes.
 func NewPool(capacity int) *Pool {
-	if capacity <= 0 {
-		panic(fmt.Sprintf("mempool: invalid pool capacity %d", capacity))
+	p := &Pool{}
+	if err := p.Init(capacity); err != nil {
+		panic(err.Error())
 	}
-	return &Pool{capacity: capacity}
+	return p
+}
+
+// Init (re)initializes a pool in place with the given capacity,
+// returning an error on invalid sizes. Arena-allocated pools use this
+// instead of NewPool so construction failures surface as errors rather
+// than panics.
+func (p *Pool) Init(capacity int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("mempool: invalid pool capacity %d", capacity)
+	}
+	*p = Pool{capacity: capacity}
+	return nil
 }
 
 // Capacity returns the total RAM size in bytes.
@@ -35,6 +49,10 @@ func (p *Pool) Capacity() int { return p.capacity }
 
 // Used returns the bytes currently allocated.
 func (p *Pool) Used() int { return p.used }
+
+// Peak returns the high-water mark of allocated bytes over the pool's
+// lifetime (memory accounting for the scaling figures).
+func (p *Pool) Peak() int { return p.peak }
 
 // Free returns the bytes currently available.
 func (p *Pool) Free() int { return p.capacity - p.used }
@@ -48,6 +66,9 @@ func (p *Pool) reserve(n int) {
 			p.used, n, p.capacity))
 	}
 	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
 }
 
 func (p *Pool) release(n int) {
@@ -214,3 +235,7 @@ func (q *Queue) Idle() bool { return q.count == 0 && q.resident == 0 }
 
 // Cap returns the private byte cap (0 = pool-bounded).
 func (q *Queue) Cap() int { return q.cap }
+
+// RingCap returns the allocated capacity of the backing ring in entries
+// (memory accounting for the scaling figures).
+func (q *Queue) RingCap() int { return len(q.ring) }

@@ -72,24 +72,47 @@ func (e *Egress) SetTracer(tr Tracer) { e.tr = tr }
 // data RAM and its queue for uncongested flows. terminal marks NIC
 // injection ports.
 func NewEgress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, terminal bool, fx EgressEffects) *Egress {
-	if err := cfg.Validate(); err != nil {
+	e := &Egress{}
+	if err := e.Init(cfg, port, pool, normals, terminal, fx, true); err != nil {
 		panic(err)
 	}
+	return e
+}
+
+// Init (re)builds the controller in place (arena-allocated controllers
+// use this — see fabric.New). With eager false the CAM table and SAQ
+// slot array are deferred to the first congestion event on this port:
+// most ports of a large fabric never see one, and an absent CAM behaves
+// exactly like an empty one.
+func (e *Egress) Init(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, terminal bool, fx EgressEffects, eager bool) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if fx == nil {
-		panic("recn: NewEgress with nil effects")
+		return fmt.Errorf("recn: egress init with nil effects")
 	}
 	if len(normals) == 0 {
-		panic("recn: NewEgress without normal queues")
+		return fmt.Errorf("recn: egress init without normal queues")
 	}
-	return &Egress{
+	*e = Egress{
 		cfg:      cfg,
 		port:     port,
 		terminal: terminal,
-		cam:      cam.New(cfg.MaxSAQs),
 		pool:     pool,
 		normals:  normals,
-		saqs:     make([]*SAQ, cfg.MaxSAQs),
 		fx:       fx,
+	}
+	if eager {
+		e.ensure()
+	}
+	return nil
+}
+
+// ensure materializes the CAM table and SAQ slots on first use.
+func (e *Egress) ensure() {
+	if e.cam == nil {
+		e.cam = cam.New(e.cfg.MaxSAQs)
+		e.saqs = make([]*SAQ, e.cfg.MaxSAQs)
 	}
 }
 
@@ -128,7 +151,7 @@ func (e *Egress) saqByUID(uid int) *SAQ {
 // through the crossbar, so route[hop:] starts at the next switch) must
 // be stored in, or nil for the normal queue (paper §3.6).
 func (e *Egress) Classify(route pkt.Route, hop int) *SAQ {
-	if e.cam.Used() == 0 {
+	if e.cam == nil || e.cam.Used() == 0 {
 		return nil
 	}
 	id, ok := e.cam.Match(route, hop)
@@ -225,6 +248,7 @@ func (e *Egress) notifyIngress(s *SAQ, ingress int) {
 // the path, placing an in-order marker in the normal queue. On refusal
 // the token immediately returns downstream (paper §3.4, §3.8).
 func (e *Egress) OnUpstreamNotification(path pkt.Path) {
+	e.ensure()
 	if _, ok := e.cam.Lookup(path); ok {
 		// Duplicate (can only happen through message races); refuse.
 		e.stats.Refusals++
@@ -294,6 +318,12 @@ func (e *Egress) OnTokenFromIngress(ingress int, rest pkt.Path) {
 		e.maybeClearRoot()
 		return
 	}
+	if e.cam == nil {
+		// No SAQ was ever allocated here: the token is stale (same as an
+		// empty-CAM lookup miss).
+		e.stats.StaleMsgs++
+		return
+	}
 	id, ok := e.cam.Lookup(rest)
 	if !ok {
 		e.stats.StaleMsgs++
@@ -315,6 +345,10 @@ func (e *Egress) OnTokenFromIngress(ingress int, rest pkt.Path) {
 // OnXoffFromDownstream / OnXonFromDownstream handle per-SAQ flow
 // control from the downstream ingress SAQ (paper §3.7).
 func (e *Egress) OnXoffFromDownstream(path pkt.Path) {
+	if e.cam == nil {
+		e.stats.StaleMsgs++
+		return
+	}
 	if id, ok := e.cam.Lookup(path); ok {
 		e.saqs[id].xoffRemote = true
 	} else {
@@ -324,6 +358,10 @@ func (e *Egress) OnXoffFromDownstream(path pkt.Path) {
 
 // OnXonFromDownstream resumes the SAQ stopped by OnXoffFromDownstream.
 func (e *Egress) OnXonFromDownstream(path pkt.Path) {
+	if e.cam == nil {
+		e.stats.StaleMsgs++
+		return
+	}
 	if id, ok := e.cam.Lookup(path); ok {
 		e.saqs[id].xoffRemote = false
 	} else {
@@ -477,7 +515,17 @@ func (e *Egress) ActiveSAQs() int { return e.active }
 // invariant checker cross-checks it against ActiveSAQs and the
 // allocation counters: a divergence means a leaked or double-freed
 // line.
-func (e *Egress) CAMUsed() int { return e.cam.Used() }
+func (e *Egress) CAMUsed() int {
+	if e.cam == nil {
+		return 0
+	}
+	return e.cam.Used()
+}
+
+// Materialized reports whether this controller ever saw a congestion
+// event (its CAM and SAQ table exist). Used by the memory model: an
+// unmaterialized controller holds no per-SAQ state at all.
+func (e *Egress) Materialized() bool { return e.cam != nil }
 
 // SAQByID returns a SAQ by CAM line ID (nil when the line is free).
 func (e *Egress) SAQByID(id int) *SAQ {

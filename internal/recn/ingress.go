@@ -45,25 +45,49 @@ type Ingress struct {
 // SetTracer installs a flight-recorder tap (nil disables tracing).
 func (in *Ingress) SetTracer(tr Tracer) { in.tr = tr }
 
-// NewIngress builds the controller for one input port.
+// NewIngress builds the controller for one input port (eagerly, with
+// panics on bad arguments — the legacy constructor the tests use).
 func NewIngress(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, fx IngressEffects) *Ingress {
-	if err := cfg.Validate(); err != nil {
+	in := &Ingress{}
+	if err := in.Init(cfg, port, pool, normals, fx, true); err != nil {
 		panic(err)
 	}
+	return in
+}
+
+// Init (re)builds the controller in place (arena-allocated controllers
+// use this — see fabric.New). With eager false the CAM table and SAQ
+// slot array are deferred to the first congestion event on this port:
+// most ports of a large fabric never see one, and an absent CAM behaves
+// exactly like an empty one.
+func (in *Ingress) Init(cfg Config, port int, pool *mempool.Pool, normals []*mempool.Queue, fx IngressEffects, eager bool) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if fx == nil {
-		panic("recn: NewIngress with nil effects")
+		return fmt.Errorf("recn: ingress init with nil effects")
 	}
 	if len(normals) == 0 {
-		panic("recn: NewIngress without normal queues")
+		return fmt.Errorf("recn: ingress init without normal queues")
 	}
-	return &Ingress{
+	*in = Ingress{
 		cfg:     cfg,
 		port:    port,
-		cam:     cam.New(cfg.MaxSAQs),
 		pool:    pool,
 		normals: normals,
-		saqs:    make([]*SAQ, cfg.MaxSAQs),
 		fx:      fx,
+	}
+	if eager {
+		in.ensure()
+	}
+	return nil
+}
+
+// ensure materializes the CAM table and SAQ slots on first use.
+func (in *Ingress) ensure() {
+	if in.cam == nil {
+		in.cam = cam.New(in.cfg.MaxSAQs)
+		in.saqs = make([]*SAQ, in.cfg.MaxSAQs)
 	}
 }
 
@@ -102,7 +126,7 @@ func (in *Ingress) saqByUID(uid int) *SAQ {
 // nil for the normal queue. route[hop:] begins with the turn at this
 // switch (paper §3.6).
 func (in *Ingress) Classify(route pkt.Route, hop int) *SAQ {
-	if in.cam.Used() == 0 {
+	if in.cam == nil || in.cam.Used() == 0 {
 		return nil
 	}
 	id, ok := in.cam.Match(route, hop)
@@ -124,6 +148,7 @@ func (in *Ingress) OnNotifyLocal(path pkt.Path) bool {
 	if path.Empty() {
 		panic("recn: internal notification with empty path")
 	}
+	in.ensure()
 	if _, ok := in.cam.Lookup(path); ok {
 		in.stats.Refusals++
 		return false
@@ -200,6 +225,12 @@ func (in *Ingress) checkPressure(s *SAQ) {
 // stopped. After a refusal it backs off until it drains below the
 // threshold once, avoiding notify/refuse storms.
 func (in *Ingress) OnTokenFromUpstream(path pkt.Path, refused bool) {
+	if in.cam == nil {
+		// No SAQ was ever allocated here: the token is stale (same as an
+		// empty-CAM lookup miss).
+		in.stats.StaleMsgs++
+		return
+	}
 	id, ok := in.cam.Lookup(path)
 	if !ok {
 		in.stats.StaleMsgs++
@@ -372,7 +403,17 @@ func (in *Ingress) ActiveSAQs() int { return in.active }
 // invariant checker cross-checks it against ActiveSAQs and the
 // allocation counters: a divergence means a leaked or double-freed
 // line.
-func (in *Ingress) CAMUsed() int { return in.cam.Used() }
+func (in *Ingress) CAMUsed() int {
+	if in.cam == nil {
+		return 0
+	}
+	return in.cam.Used()
+}
+
+// Materialized reports whether this controller ever saw a congestion
+// event (its CAM and SAQ table exist). Used by the memory model: an
+// unmaterialized controller holds no per-SAQ state at all.
+func (in *Ingress) Materialized() bool { return in.cam != nil }
 
 // SAQByID returns a SAQ by CAM line ID (nil when the line is free).
 func (in *Ingress) SAQByID(id int) *SAQ {

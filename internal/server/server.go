@@ -113,6 +113,9 @@ type SweepRequest struct {
 	// tunables (throttle.ParseSpec / fabric.ParseARNSpec syntax).
 	ThrottleSpec string `json:"throttle_spec,omitempty"`
 	ARNSpec      string `json:"arn_spec,omitempty"`
+	// Topo selects the network topology where the figure allows it
+	// ("min", "fattree", "mesh"; default per figure).
+	Topo string `json:"topo,omitempty"`
 	// Shards runs each simulation on the windowed multi-core runtime.
 	Shards int `json:"shards,omitempty"`
 	// Check enables the runtime invariant checker on every run.
@@ -341,6 +344,7 @@ func (s *Server) execute(ctx context.Context, j *job, spec SweepRequest) ([]*exp
 		FaultSpec:    spec.FaultSpec,
 		ThrottleSpec: spec.ThrottleSpec,
 		ARNSpec:      spec.ARNSpec,
+		Topo:         spec.Topo,
 		Shards:       spec.Shards,
 		Check:        spec.Check,
 		Parallelism:  s.cfg.Parallelism,
@@ -432,6 +436,9 @@ func validate(spec SweepRequest) error {
 	}
 	if _, err := experiments.ValidatePolicyOptions(nil, spec.ThrottleSpec, spec.ARNSpec); err != nil {
 		return err
+	}
+	if !experiments.ValidTopology(spec.Topo) {
+		return fmt.Errorf("topo: unknown %q (valid: %s)", spec.Topo, experiments.TopologyNames())
 	}
 	if spec.Scale < 0 {
 		return fmt.Errorf("scale: negative (%g)", spec.Scale)

@@ -155,7 +155,7 @@ func NewEngine() *Engine { return &Engine{} }
 // dispatch ordered by when they were scheduled, with mailbox arrivals
 // slotted after the local events of the same scheduling instant.
 const (
-	seqCntBits   = 23
+	seqCntBits   = 27
 	seqTimeShift = seqCntBits + 1
 	// SeqMailboxBit marks a composite sequence as a boundary-mailbox
 	// delivery (see ScheduleExt callers in internal/fabric).

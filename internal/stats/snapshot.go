@@ -179,6 +179,11 @@ type Report struct {
 
 	// Faults is nil when the run had no fault injection or recovery.
 	Faults *FaultReport `json:",omitempty"`
+
+	// Mem is the end-of-run materialized-state accounting (nil on
+	// reports from before the memory model existed — old cache entries
+	// load unchanged).
+	Mem *MemReport `json:",omitempty"`
 }
 
 // Merge folds another report into this one: series merge bin-wise,
@@ -226,6 +231,12 @@ func (r *Report) Merge(o *Report) error {
 			r.Faults = &FaultReport{}
 		}
 		r.Faults.Merge(o.Faults)
+	}
+	if o.Mem != nil {
+		if r.Mem == nil {
+			r.Mem = &MemReport{}
+		}
+		r.Mem.Add(*o.Mem)
 	}
 	return nil
 }

@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+)
+
+// FatTree is a k-ary n-tree with deterministic adaptive up-routing:
+// structurally identical to the perfect-shuffle MIN (it embeds one, so
+// wiring, host attachment and the AlternateRouter up-port range are
+// shared), but the ascent turn at level l is a function of BOTH
+// endpoints — (src_l + dst_l) mod upRadix — instead of the
+// destination alone. Different sources feeding the same destination
+// therefore climb through different intermediate switches, spreading
+// load across the tree's path diversity the way adaptive fat-tree
+// routing does, while every (src, dst) pair still gets one fixed
+// route:
+//
+//   - routes stay deterministic and source-resolved, so RECN's CAM
+//     path matching is untouched — a packet's remaining route is
+//     carried in the packet, and the descent from the least common
+//     ancestor is still the unique destination-digit path;
+//   - every route is minimal (same ascent height as the base MIN: the
+//     least common ancestor level depends only on where the host
+//     digits differ);
+//   - ascent turns stay inside the UpPortRange of each stage, so the
+//     ARN steering machinery can re-aim them exactly as on the base
+//     topology.
+//
+// The fat-tree property test locks all three.
+type FatTree struct {
+	*Topology
+}
+
+// NewFatTree builds the fat tree for a host count ForHosts accepts
+// (64, 256, 512 or any power of 4 — the scaling figures use 1024 and
+// 4096).
+func NewFatTree(hosts int) (*FatTree, error) {
+	base, err := ForHosts(hosts)
+	if err != nil {
+		return nil, err
+	}
+	return &FatTree{Topology: base}, nil
+}
+
+// Route computes the deterministic minimal route from src to dst with
+// source-spread ascent turns (see the type comment); the descent is the
+// base tree's unique destination-digit path.
+func (t *FatTree) Route(src, dst int) (pkt.Route, error) {
+	if src == dst {
+		return nil, fmt.Errorf("topology: route from host %d to itself", src)
+	}
+	if src < 0 || src >= t.hosts || dst < 0 || dst >= t.hosts {
+		return nil, fmt.Errorf("topology: route %d→%d out of range (hosts=%d)", src, dst, t.hosts)
+	}
+	// L = highest digit where src and dst differ: the LCA stage.
+	l := 0
+	for i := t.levels - 1; i >= 0; i-- {
+		if t.hostDigit(src, i) != t.hostDigit(dst, i) {
+			l = i
+			break
+		}
+	}
+	route := make(pkt.Route, 0, 2*l+1)
+	for lvl := 0; lvl < l; lvl++ {
+		up := (t.hostDigit(src, lvl) + t.hostDigit(dst, lvl)) % t.radices[lvl+1]
+		route = append(route, pkt.Turn(t.k+up))
+	}
+	for lvl := l; lvl >= 0; lvl-- {
+		route = append(route, pkt.Turn(t.hostDigit(dst, lvl)))
+	}
+	return route, nil
+}
+
+func (t *FatTree) String() string {
+	return fmt.Sprintf("fat tree %d×%d (%d stages × %d switches, radices %v, adaptive ascent)",
+		t.hosts, t.hosts, t.levels, t.perLvl, t.radices)
+}

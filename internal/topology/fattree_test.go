@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// walkRoute follows a route hop by hop from src's attach switch using
+// Peer, checking that every turn is a wired port, and returns the
+// delivered host (-1 if the route ends mid-fabric) plus the switches
+// visited.
+func walkRoute(t *testing.T, topo *Topology, src int, route []int) (host int, visited []int) {
+	t.Helper()
+	sw, _ := topo.HostAttach(src)
+	for i, turn := range route {
+		visited = append(visited, sw)
+		end := topo.Peer(sw, turn)
+		switch end.Kind {
+		case KindHost:
+			if i != len(route)-1 {
+				t.Fatalf("src %d: route %v reaches host %d at hop %d of %d", src, route, end.Host, i+1, len(route))
+			}
+			return end.Host, visited
+		case KindSwitch:
+			sw = end.Switch
+		default:
+			t.Fatalf("src %d: route %v takes unwired port %d at switch %d (hop %d)", src, route, turn, sw, i)
+		}
+	}
+	return -1, visited
+}
+
+// The fat tree's adaptive-ascent routes must stay minimal, deliver,
+// keep their ascent turns inside each stage's up-port range, and share
+// the base MIN's unique destination-digit descent — the properties
+// RECN's CAM path matching and the deadlock-free up*/down* argument
+// rest on.
+func TestFatTreeRouteProperties(t *testing.T) {
+	for _, hosts := range []int{64, 256} {
+		t.Run(fmt.Sprintf("hosts=%d", hosts), func(t *testing.T) {
+			ft, err := NewFatTree(hosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := ft.Topology
+			for src := 0; src < hosts; src++ {
+				for dst := 0; dst < hosts; dst++ {
+					if src == dst {
+						continue
+					}
+					route, err := ft.Route(src, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, err := base.Route(src, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Minimal: same length as the base MIN's route (the
+					// LCA level depends only on the host digits).
+					if len(route) != len(ref) {
+						t.Fatalf("%d→%d: fat-tree route %v has length %d, base %v has %d",
+							src, dst, route, len(route), ref, len(ref))
+					}
+					// The descent (everything after the ascent) is the
+					// unique destination-digit path, identical to base.
+					ascents := len(route) / 2
+					for i := ascents; i < len(route); i++ {
+						if route[i] != ref[i] {
+							t.Fatalf("%d→%d: descent differs at hop %d: fat %v vs base %v", src, dst, i, route, ref)
+						}
+					}
+					got, visited := walkRoute(t, base, src, turnsToInts(route))
+					if got != dst {
+						t.Fatalf("%d→%d: route %v delivered to %d", src, dst, route, got)
+					}
+					// Every ascent turn is inside its switch's up range.
+					for i := 0; i < ascents; i++ {
+						lo, n := base.UpPortRange(visited[i])
+						if int(route[i]) < lo || int(route[i]) >= lo+n {
+							t.Fatalf("%d→%d: ascent turn %d at switch %d outside up range [%d,%d)",
+								src, dst, route[i], visited[i], lo, lo+n)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Different sources must climb through different intermediate switches
+// toward the same destination — the load spreading that distinguishes
+// the fat tree from the base MIN's destination-only ascent.
+func TestFatTreeSpreadsAscent(t *testing.T) {
+	ft, err := NewFatTree(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := 63
+	tops := map[int]bool{}
+	for src := 0; src < 16; src++ { // all share the top-level LCA with 63
+		route, err := ft.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, visited := walkRoute(t, ft.Topology, src, turnsToInts(route))
+		tops[visited[len(route)/2]] = true // LCA switch (last ascent hop's peer)
+	}
+	if len(tops) < 2 {
+		t.Fatalf("16 sources to host %d all climbed through the same LCA switch %v", dst, tops)
+	}
+	// The base MIN, by contrast, funnels them all through one ancestor.
+	baseTops := map[int]bool{}
+	for src := 0; src < 16; src++ {
+		route, err := ft.Topology.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, visited := walkRoute(t, ft.Topology, src, turnsToInts(route))
+		baseTops[visited[len(route)/2]] = true
+	}
+	if len(baseTops) != 1 {
+		t.Fatalf("base MIN used %d LCA switches (expected the single destination-digit ancestor)", len(baseTops))
+	}
+}
+
+// Self-routes and out-of-range hosts must fail the same way the base
+// topology fails them.
+func TestFatTreeRouteErrors(t *testing.T) {
+	ft, err := NewFatTree(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int{{5, 5}, {-1, 3}, {3, 64}} {
+		if _, err := ft.Route(c[0], c[1]); err == nil {
+			t.Errorf("Route(%d, %d) accepted", c[0], c[1])
+		}
+	}
+	if _, err := NewFatTree(48); err == nil {
+		t.Error("NewFatTree(48) accepted a non-power-of-4 host count")
+	}
+}
+
+func turnsToInts(route pkt.Route) []int {
+	out := make([]int, len(route))
+	for i, turn := range route {
+		out[i] = int(turn)
+	}
+	return out
+}

@@ -56,6 +56,9 @@ type (
 	Topology = topology.Topology
 	// Mesh is a 2D direct network (one host per switch, XY routing).
 	Mesh = topology.Mesh
+	// FatTree is the k-ary n-tree with deterministic adaptive
+	// up-routing (the scaling figures' topology).
+	FatTree = topology.FatTree
 	// Time is simulation time in picoseconds.
 	Time = sim.Time
 	// Options tune figure reproduction runs.
@@ -292,6 +295,24 @@ func ValidatePolicyOptions(names []string, throttleSpec, arnSpec string) ([]Poli
 // NewTopology builds the paper's network for 64, 256 or 512 hosts (or
 // any power of 4).
 func NewTopology(hosts int) (*Topology, error) { return topology.ForHosts(hosts) }
+
+// NewFatTree builds the k-ary n-tree with deterministic adaptive
+// up-routing for any host count NewTopology accepts (the scaling
+// figures use 1024 and 4096).
+func NewFatTree(hosts int) (*FatTree, error) { return topology.NewFatTree(hosts) }
+
+// BuildTopology resolves a topology name ("min", "fattree", "mesh")
+// and host count — the CLIs' -topo flag surface.
+func BuildTopology(name string, hosts int) (fabric.Topology, error) {
+	return experiments.BuildTopology(name, hosts)
+}
+
+// TopologyNames lists every name BuildTopology accepts.
+func TopologyNames() string { return experiments.TopologyNames() }
+
+// ValidTopology reports whether BuildTopology accepts the name (host
+// count constraints aside); CLIs use it to reject -topo up front.
+func ValidTopology(name string) bool { return experiments.ValidTopology(name) }
 
 // NewMesh builds a cols×rows 2D mesh (one host per switch, XY routing).
 // The paper notes RECN works on direct networks too; the same fabric

@@ -48,7 +48,7 @@ func TestFigureIDsComplete(t *testing.T) {
 	ids := FigureIDs()
 	want := []string{"2a", "2b", "2c", "2d", "3a", "3b", "4a", "4b", "5a", "5b",
 		"6a", "6b", "a1", "a2", "a3", "a4", "lat1", "lat2", "pkt512a", "pkt512b",
-		"shootout", "table1"}
+		"scaling", "scaling1k", "shootout", "table1"}
 	if len(ids) != len(want) {
 		t.Fatalf("FigureIDs() = %v, want %v", ids, want)
 	}
